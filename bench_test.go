@@ -1,0 +1,203 @@
+// Benchmarks: one testing.B entry per exhibit of the paper's evaluation
+// (Tables I–V, Figs. 1–3), plus micro-benchmarks for the compute kernels
+// the variants trade off (per-model training, JL projection).
+//
+// Each exhibit bench runs its full regeneration pipeline at a coarse
+// feature scale so `go test -bench=.` finishes in minutes; the fracbench
+// command regenerates the exhibits at the reporting scale (see
+// EXPERIMENTS.md).
+package frac_test
+
+import (
+	"testing"
+
+	"frac"
+	"frac/internal/eval"
+)
+
+// benchOptions is the coarse configuration shared by the exhibit benches.
+func benchOptions() eval.Options {
+	return eval.Options{
+		Scale:      128,
+		Replicates: 2,
+		Seed:       1,
+		JLRepeats:  3,
+	}.WithDefaults()
+}
+
+func BenchmarkTable1Profiles(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if rows := eval.Table1(o); len(rows) != 8 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// table2Rows caches the full-run baseline across benches of one process.
+var table2Rows []eval.Table2Row
+
+func fullRuns(b *testing.B) []eval.Table2Row {
+	b.Helper()
+	if table2Rows == nil {
+		rows, err := eval.Table2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		table2Rows = rows
+	}
+	return table2Rows
+}
+
+func BenchmarkTable2FullFRaC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table2Rows = rows
+	}
+}
+
+func BenchmarkTable3Variants(b *testing.B) {
+	full := fullRuns(b)
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table3(full, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Diverse(b *testing.B) {
+	full := fullRuns(b)
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table4(full, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Schizophrenia(b *testing.B) {
+	full := fullRuns(b)
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table5(full, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Wiring(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		eval.Fig1(o)
+	}
+}
+
+func BenchmarkFig2Preprocessing(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3JLSweep(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig3(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	full := fullRuns(b)
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Ablations(full, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Baselines(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+// benchReplicate builds one biomarkers replicate at the bench scale.
+func benchReplicate(b *testing.B) frac.Replicate {
+	b.Helper()
+	p, err := frac.ProfileByName("biomarkers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := p.Generate(128, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps, err := frac.MakeReplicates(pool, 1, 2.0/3, frac.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reps[0]
+}
+
+func BenchmarkFullFRaCRun(b *testing.B) {
+	rep := benchReplicate(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := frac.Run(rep.Train, rep.Test,
+			frac.FullTerms(rep.Train.NumFeatures()), frac.Config{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilteredRun(b *testing.B) {
+	rep := benchReplicate(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.RandomFilter, 0.05,
+			frac.NewRNG(uint64(i)), frac.Config{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiverseRun(b *testing.B) {
+	rep := benchReplicate(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := frac.RunDiverse(rep.Train, rep.Test, 0.5, 1,
+			frac.NewRNG(uint64(i)), frac.Config{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJLRun(b *testing.B) {
+	rep := benchReplicate(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := frac.RunJL(rep.Train, rep.Test, frac.JLSpec{Dim: 16},
+			frac.NewRNG(uint64(i)), frac.Config{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

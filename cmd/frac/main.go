@@ -1,0 +1,269 @@
+// Command frac runs a FRaC variant on TSV data sets and reports anomaly
+// scores (and AUC when the test set is labeled).
+//
+// Two input modes:
+//
+//	frac -data pool.tsv -replicates 5 [flags]     # labeled pool, paper-style splits
+//	frac -train a.tsv -test b.tsv [flags]         # fixed split
+//
+// Variants:
+//
+//	-variant full                      ordinary FRaC
+//	-variant random-filter -p 0.05     one full-filtered run
+//	-variant random-ensemble -p 0.05 -members 10
+//	-variant entropy-filter -p 0.05
+//	-variant partial-filter -p 0.05
+//	-variant diverse -p 0.5
+//	-variant diverse-ensemble -p 0.05 -members 10
+//	-variant jl -dim 1024
+//
+// Model persistence (full FRaC only):
+//
+//	frac -train normals.tsv -save-model m.frac          # train and save
+//	frac -load-model m.frac -test patients.tsv -scores  # score later
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"frac"
+	"frac/internal/resource"
+)
+
+type options struct {
+	variant  string
+	p        float64
+	members  int
+	dim      int
+	seed     uint64
+	workers  int
+	learners string
+	scores   bool
+}
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "labeled pool TSV (replicate mode)")
+		trainPath  = flag.String("train", "", "training TSV (fixed-split mode)")
+		testPath   = flag.String("test", "", "test TSV (fixed-split mode)")
+		replicates = flag.Int("replicates", 5, "replicates in pool mode")
+		opt        options
+	)
+	flag.StringVar(&opt.variant, "variant", "full", "full | random-filter | random-ensemble | entropy-filter | partial-filter | diverse | diverse-ensemble | jl")
+	flag.Float64Var(&opt.p, "p", 0.05, "filter keep-fraction / diverse inclusion probability")
+	flag.IntVar(&opt.members, "members", 10, "ensemble size")
+	flag.IntVar(&opt.dim, "dim", 1024, "JL projected dimension")
+	flag.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.workers, "workers", 0, "parallel trainings (0 = GOMAXPROCS)")
+	flag.StringVar(&opt.learners, "learners", "paper", "paper (SVR+tree) | tree")
+	flag.BoolVar(&opt.scores, "scores", false, "print per-sample scores")
+	saveModel := flag.String("save-model", "", "train full FRaC on -train and save the model here")
+	loadModel := flag.String("load-model", "", "load a saved model and score -test")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *saveModel != "":
+		err = trainAndSave(*trainPath, *saveModel, opt)
+	case *loadModel != "":
+		err = loadAndScore(*loadModel, *testPath, opt)
+	default:
+		err = run(*dataPath, *trainPath, *testPath, *replicates, opt)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frac: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func trainAndSave(trainPath, modelPath string, opt options) error {
+	if trainPath == "" {
+		return fmt.Errorf("-save-model needs -train")
+	}
+	train, err := frac.ReadDatasetFile(trainPath)
+	if err != nil {
+		return err
+	}
+	if train.Anomalous != nil {
+		// Keep normals only, as the FRaC protocol requires.
+		var rows []int
+		for i, a := range train.Anomalous {
+			if !a {
+				rows = append(rows, i)
+			}
+		}
+		train = train.SelectSamples(rows)
+		train.Anomalous = nil
+	}
+	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers}
+	if opt.learners == "tree" {
+		cfg.Learners = frac.TreeLearnersDefault()
+	}
+	model, err := frac.Train(train, frac.FullTerms(train.NumFeatures()), cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	if err := frac.SaveModel(f, model); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d samples x %d features; model saved to %s\n",
+		train.NumSamples(), train.NumFeatures(), modelPath)
+	return nil
+}
+
+func loadAndScore(modelPath, testPath string, opt options) error {
+	if testPath == "" {
+		return fmt.Errorf("-load-model needs -test")
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	model, err := frac.LoadModel(f)
+	if err != nil {
+		return err
+	}
+	test, err := frac.ReadDatasetFile(testPath)
+	if err != nil {
+		return err
+	}
+	scores := make([]float64, test.NumSamples())
+	for i := range scores {
+		scores[i] = model.Score(test.Sample(i))
+		fmt.Printf("sample %d: NS=%.4f\n", i, scores[i])
+	}
+	if test.Anomalous != nil {
+		fmt.Printf("AUC: %.4f\n", frac.AUC(scores, test.Anomalous))
+	}
+	return nil
+}
+
+func run(dataPath, trainPath, testPath string, replicates int, opt options) error {
+	reps, err := loadReplicates(dataPath, trainPath, testPath, replicates, opt.seed)
+	if err != nil {
+		return err
+	}
+	var aucs []float64
+	for i, rep := range reps {
+		tracker := resource.NewTracker()
+		cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Tracker: tracker}
+		if opt.learners == "tree" {
+			cfg.Learners = frac.TreeLearnersDefault()
+		}
+		scores, err := runVariant(rep, opt, cfg)
+		if err != nil {
+			return err
+		}
+		cost := tracker.Stop()
+		line := fmt.Sprintf("replicate %d: cpu=%v peak=%s",
+			i, cost.CPU.Round(time.Millisecond), resource.FormatBytes(cost.PeakBytes))
+		if rep.Test.Anomalous != nil {
+			auc := frac.AUC(scores, rep.Test.Anomalous)
+			aucs = append(aucs, auc)
+			line = fmt.Sprintf("%s auc=%.4f", line, auc)
+		}
+		fmt.Println(line)
+		if opt.scores {
+			for s, v := range scores {
+				fmt.Printf("  sample %d: NS=%.4f\n", s, v)
+			}
+		}
+	}
+	if len(aucs) > 1 {
+		var sum float64
+		for _, a := range aucs {
+			sum += a
+		}
+		fmt.Printf("mean AUC over %d replicates: %.4f\n", len(aucs), sum/float64(len(aucs)))
+	}
+	return nil
+}
+
+func loadReplicates(dataPath, trainPath, testPath string, n int, seed uint64) ([]frac.Replicate, error) {
+	switch {
+	case dataPath != "" && trainPath == "" && testPath == "":
+		pool, err := frac.ReadDatasetFile(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		return frac.MakeReplicates(pool, n, 2.0/3, frac.NewRNG(seed).Stream("splits"))
+	case dataPath == "" && trainPath != "" && testPath != "":
+		train, err := frac.ReadDatasetFile(trainPath)
+		if err != nil {
+			return nil, err
+		}
+		test, err := frac.ReadDatasetFile(testPath)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := frac.FixedSplit(train, test)
+		if err != nil {
+			return nil, err
+		}
+		return []frac.Replicate{rep}, nil
+	default:
+		return nil, fmt.Errorf("pass either -data, or both -train and -test")
+	}
+}
+
+func runVariant(rep frac.Replicate, opt options, cfg frac.Config) ([]float64, error) {
+	src := frac.NewRNG(opt.seed).Stream("variant")
+	switch opt.variant {
+	case "full":
+		res, err := frac.Run(rep.Train, rep.Test, frac.FullTerms(rep.Train.NumFeatures()), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case "random-filter":
+		res, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case "entropy-filter":
+		res, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.EntropyFilter, opt.p, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case "partial-filter":
+		res, _, err := frac.RunPartialFiltered(rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case "random-ensemble":
+		return frac.RunFilterEnsemble(rep.Train, rep.Test, frac.RandomFilter, opt.p,
+			frac.EnsembleSpec{Members: opt.members}, src, cfg)
+	case "diverse":
+		res, err := frac.RunDiverse(rep.Train, rep.Test, opt.p, 1, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case "diverse-ensemble":
+		return frac.RunDiverseEnsemble(rep.Train, rep.Test, opt.p,
+			frac.EnsembleSpec{Members: opt.members}, src, cfg)
+	case "jl":
+		res, err := frac.RunJL(rep.Train, rep.Test, frac.JLSpec{Dim: opt.dim}, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	default:
+		return nil, fmt.Errorf("unknown variant %q", opt.variant)
+	}
+}

@@ -1,0 +1,131 @@
+// Command fracbench regenerates the paper's evaluation exhibits over the
+// synthetic compendium. Subcommands: table1, table2, table3, table4, table5,
+// fig1, fig2, fig3, ablations, baselines, interpret, all.
+//
+// Example:
+//
+//	fracbench -scale 32 -replicates 5 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"frac/internal/eval"
+)
+
+func main() {
+	opts := eval.Options{Out: os.Stdout}
+	flag.IntVar(&opts.Scale, "scale", 16, "divide the paper's feature counts by this factor")
+	flag.IntVar(&opts.Replicates, "replicates", 5, "train/test replicates per data set")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.IntVar(&opts.Workers, "workers", 0, "parallel model trainings (0 = GOMAXPROCS)")
+	flag.Float64Var(&opts.FilterP, "filter-p", 0.05, "full-filtering keep fraction")
+	flag.IntVar(&opts.EnsembleMembers, "members", 10, "ensemble size")
+	flag.Float64Var(&opts.DiverseP, "diverse-p", 0.5, "diverse inclusion probability")
+	flag.Float64Var(&opts.DiverseEnsembleP, "diverse-ensemble-p", 1.0/20, "diverse ensemble member probability")
+	flag.IntVar(&opts.JLDim, "jl-dim", 1024, "JL dimension at paper scale (divided by -scale)")
+	flag.IntVar(&opts.JLRepeats, "jl-repeats", 10, "independent projections per JL point")
+	flag.Parse()
+	opts.Seed = *seed
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	start := time.Now()
+	if err := run(cmd, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fracbench: %s completed in %v\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func run(cmd string, opts eval.Options) error {
+	needTable2 := func() ([]eval.Table2Row, error) { return eval.Table2(opts) }
+	switch cmd {
+	case "table1":
+		eval.Table1(opts)
+		return nil
+	case "table2":
+		_, err := needTable2()
+		return err
+	case "table3":
+		full, err := needTable2()
+		if err != nil {
+			return err
+		}
+		_, err = eval.Table3(full, opts)
+		return err
+	case "table4":
+		full, err := needTable2()
+		if err != nil {
+			return err
+		}
+		_, err = eval.Table4(full, opts)
+		return err
+	case "table5":
+		full, err := needTable2()
+		if err != nil {
+			return err
+		}
+		_, err = eval.Table5(full, opts)
+		return err
+	case "ablations":
+		full, err := needTable2()
+		if err != nil {
+			return err
+		}
+		_, err = eval.Ablations(full, opts)
+		return err
+	case "baselines":
+		_, err := eval.Baselines(opts)
+		return err
+	case "interpret":
+		_, err := eval.Interpretation(opts)
+		return err
+	case "fig1":
+		eval.Fig1(opts)
+		return nil
+	case "fig2":
+		_, err := eval.Fig2(opts)
+		return err
+	case "fig3":
+		_, err := eval.Fig3(opts)
+		return err
+	case "all":
+		eval.Table1(opts)
+		full, err := needTable2()
+		if err != nil {
+			return err
+		}
+		if _, err := eval.Table3(full, opts); err != nil {
+			return err
+		}
+		if _, err := eval.Table4(full, opts); err != nil {
+			return err
+		}
+		if _, err := eval.Table5(full, opts); err != nil {
+			return err
+		}
+		eval.Fig1(opts)
+		if _, err := eval.Fig2(opts); err != nil {
+			return err
+		}
+		if _, err := eval.Fig3(opts); err != nil {
+			return err
+		}
+		if _, err := eval.Ablations(full, opts); err != nil {
+			return err
+		}
+		if _, err := eval.Baselines(opts); err != nil {
+			return err
+		}
+		_, err = eval.Interpretation(opts)
+		return err
+	default:
+		return fmt.Errorf("unknown subcommand %q (want table1..table5, fig1..fig3, all)", cmd)
+	}
+}

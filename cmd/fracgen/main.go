@@ -1,0 +1,84 @@
+// Command fracgen writes the synthetic compendium (or one named profile) to
+// disk as TSV data sets.
+//
+// Usage:
+//
+//	fracgen -out data/ -scale 16 [-profile biomarkers] [-seed 1]
+//
+// Replicated profiles produce a single labeled pool file (use frac's
+// replicate machinery, or cmd/frac's -replicates flag, to split); the
+// confounded schizophrenia profile produces separate -train and -test
+// files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"frac/internal/dataset"
+	"frac/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	scale := flag.Int("scale", 16, "divide the paper's feature counts by this factor")
+	profile := flag.String("profile", "", "generate only this profile (default: all)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	if err := run(*out, *scale, *profile, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "fracgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale int, only string, seed uint64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, p := range synth.Compendium() {
+		if only != "" && p.Name != only {
+			continue
+		}
+		if err := writeProfile(out, p, scale, seed); err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+	}
+	if only != "" {
+		if _, err := synth.ProfileByName(only); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeProfile(out string, p synth.Profile, scale int, seed uint64) error {
+	if p.Confounded {
+		train, test, err := p.GenerateSplit(scale, seed)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteFile(filepath.Join(out, p.Name+"-train.tsv"), train); err != nil {
+			return err
+		}
+		if err := dataset.WriteFile(filepath.Join(out, p.Name+"-test.tsv"), test); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d features, train %d / test %d samples -> %s-{train,test}.tsv\n",
+			p.Name, train.NumFeatures(), train.NumSamples(), test.NumSamples(), p.Name)
+		return nil
+	}
+	d, err := p.Generate(scale, seed)
+	if err != nil {
+		return err
+	}
+	n, a := d.CountLabels()
+	if err := dataset.WriteFile(filepath.Join(out, p.Name+".tsv"), d); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d features, %d normal + %d anomalous samples -> %s.tsv\n",
+		p.Name, d.NumFeatures(), n, a, p.Name)
+	return nil
+}

@@ -1,0 +1,83 @@
+// CSAX: characterizing *why* a sample is anomalous (paper ref 7 — the
+// interpretability layer the paper's introduction motivates). FRaC finds
+// anomalous expression samples; CSAX explains each one by the gene sets
+// enriched among its most surprising features, stabilized by bootstrapping
+// over multiple FRaC runs.
+//
+// Here the synthetic cohort's co-expression modules serve as the gene-set
+// catalog, and the generator's ground truth tells us which modules the
+// disease actually dysregulates — so the example can score its own
+// explanations.
+//
+// Run with:
+//
+//	go run ./examples/csax
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frac"
+	"frac/internal/rng"
+	"frac/internal/synth"
+)
+
+func main() {
+	params := synth.ExpressionParams{
+		Features: 120, Normal: 50, Anomaly: 8,
+		Modules: 10, ModuleSize: 10,
+		NoiseSD: 0.4, DisruptFrac: 0.3, DisruptShift: 1.5,
+	}
+	pool, truth, err := synth.GenerateExpressionWithTruth("csax-demo", params, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps, err := frac.MakeReplicates(pool, 1, 2.0/3, frac.NewRNG(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := reps[0]
+
+	// Gene-set catalog: the cohort's co-expression modules.
+	var sets []frac.GeneSet
+	disrupted := map[string]bool{}
+	for m, members := range truth.ModuleGeneSets() {
+		name := fmt.Sprintf("module-%02d", m)
+		sets = append(sets, frac.GeneSet{Name: name, Members: members})
+		if truth.DisruptedModule[m] {
+			disrupted[name] = true
+		}
+	}
+	fmt.Printf("catalog: %d modules, of which the disease dysregulates:", len(sets))
+	for name := range disrupted {
+		fmt.Printf(" %s", name)
+	}
+	fmt.Println()
+
+	chars, err := frac.Characterize(rep.Train, rep.Test,
+		frac.FullTerms(pool.NumFeatures()), sets, frac.NewRNG(13),
+		frac.CSAXConfig{FRaC: frac.Config{Seed: 3}, Bootstraps: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-sample characterizations (top 3 enriched sets):")
+	correct, anomalies := 0, 0
+	for i, c := range chars {
+		label := "control"
+		if rep.Test.Anomalous[i] {
+			label = "ANOMALY"
+			anomalies++
+			if disrupted[c.Sets[0].Name] {
+				correct++
+			}
+		}
+		fmt.Printf("  sample %2d [%s] NS=%8.1f:", i, label, c.NS)
+		for _, s := range c.Sets[:3] {
+			fmt.Printf("  %s (ES %.2f, robust %.0f%%)", s.Name, s.ES, 100*s.Robustness)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntop explanation is a truly dysregulated module for %d/%d anomalies\n", correct, anomalies)
+}

@@ -1,0 +1,175 @@
+package frac_test
+
+import (
+	"bytes"
+	"testing"
+
+	"frac"
+)
+
+// apiDataset builds a small labeled mixed data set through the public API.
+func apiDataset(t *testing.T) *frac.Dataset {
+	t.Helper()
+	schema := frac.Schema{
+		{Name: "a", Kind: frac.Real},
+		{Name: "b", Kind: frac.Real},
+		{Name: "g", Kind: frac.Categorical, Arity: 3},
+	}
+	src := frac.NewRNG(1)
+	d := frac.NewDataset("api", schema, 60)
+	d.Anomalous = make([]bool, 60)
+	for i := 0; i < 60; i++ {
+		anom := i >= 45
+		d.Anomalous[i] = anom
+		a := src.Norm()
+		row := d.Sample(i)
+		row[0] = a
+		if anom {
+			row[1] = -2*a + src.Normal(0, 0.2) // relationship inverted
+		} else {
+			row[1] = 2*a + src.Normal(0, 0.2)
+		}
+		row[2] = float64(i % 3)
+	}
+	return d
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d := apiDataset(t)
+	reps, err := frac.MakeReplicates(d, 2, 2.0/3, frac.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		res, err := frac.Run(rep.Train, rep.Test, frac.FullTerms(d.NumFeatures()), frac.Config{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc := frac.AUC(res.Scores, rep.Test.Anomalous)
+		if auc < 0.9 {
+			t.Errorf("AUC = %v on an easy inverted-relationship problem", auc)
+		}
+	}
+}
+
+func TestPublicAPIVariants(t *testing.T) {
+	d := apiDataset(t)
+	reps, err := frac.MakeReplicates(d, 1, 2.0/3, frac.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reps[0]
+	cfg := frac.Config{Seed: 3}
+	src := frac.NewRNG(4)
+
+	if _, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.RandomFilter, 0.7, src.Stream("f"), cfg); err != nil {
+		t.Errorf("RunFullFiltered: %v", err)
+	}
+	if _, _, err := frac.RunPartialFiltered(rep.Train, rep.Test, frac.RandomFilter, 0.7, src.Stream("p"), cfg); err != nil {
+		t.Errorf("RunPartialFiltered: %v", err)
+	}
+	if _, err := frac.RunDiverse(rep.Train, rep.Test, 0.5, 2, src.Stream("d"), cfg); err != nil {
+		t.Errorf("RunDiverse: %v", err)
+	}
+	if _, err := frac.RunFilterEnsemble(rep.Train, rep.Test, frac.EntropyFilter, 0.7,
+		frac.EnsembleSpec{Members: 3}, src.Stream("e"), cfg); err != nil {
+		t.Errorf("RunFilterEnsemble: %v", err)
+	}
+	if _, err := frac.RunDiverseEnsemble(rep.Train, rep.Test, 0.3,
+		frac.EnsembleSpec{Members: 3}, src.Stream("de"), cfg); err != nil {
+		t.Errorf("RunDiverseEnsemble: %v", err)
+	}
+	for _, fam := range []frac.JLSpec{{Dim: 4}, {Dim: 4, Family: frac.JLRademacher}, {Dim: 4, Family: frac.JLAchlioptas}} {
+		if _, err := frac.RunJL(rep.Train, rep.Test, fam, src.Stream("jl"), cfg); err != nil {
+			t.Errorf("RunJL %v: %v", fam.Family, err)
+		}
+	}
+}
+
+func TestPublicAPIModelReuse(t *testing.T) {
+	d := apiDataset(t)
+	reps, err := frac.MakeReplicates(d, 1, 2.0/3, frac.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := frac.Train(reps[0].Train, frac.FullTerms(d.NumFeatures()), frac.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train once, score many — the library workflow.
+	s1 := model.Score(reps[0].Test.Sample(0))
+	s2 := model.Score(reps[0].Test.Sample(0))
+	if s1 != s2 {
+		t.Error("Score is not deterministic for a fixed model")
+	}
+	if model.NumTerms() != d.NumFeatures() {
+		t.Errorf("NumTerms = %d", model.NumTerms())
+	}
+}
+
+func TestPublicAPITSVRoundTrip(t *testing.T) {
+	d := apiDataset(t)
+	var buf bytes.Buffer
+	if err := frac.WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := frac.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSamples() != d.NumSamples() || got.NumFeatures() != d.NumFeatures() {
+		t.Error("round trip changed dimensions")
+	}
+}
+
+func TestPublicAPICompendium(t *testing.T) {
+	if len(frac.Compendium()) != 8 {
+		t.Error("compendium should list the paper's 8 data sets")
+	}
+	p, err := frac.ProfileByName("autism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Generate(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema[0].Kind != frac.Categorical {
+		t.Error("autism profile should be categorical SNP data")
+	}
+}
+
+func TestPublicAPIMissingHandling(t *testing.T) {
+	if !frac.IsMissing(frac.Missing) {
+		t.Error("Missing must satisfy IsMissing")
+	}
+	if frac.IsMissing(0) {
+		t.Error("0 is not missing")
+	}
+}
+
+func TestPublicAPIModelPersistence(t *testing.T) {
+	d := apiDataset(t)
+	reps, err := frac.MakeReplicates(d, 1, 2.0/3, frac.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := frac.Train(reps[0].Train, frac.FullTerms(d.NumFeatures()), frac.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := frac.SaveModel(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := frac.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reps[0].Test.NumSamples(); i++ {
+		s := reps[0].Test.Sample(i)
+		if model.Score(s) != loaded.Score(s) {
+			t.Fatal("loaded model scores differ")
+		}
+	}
+}

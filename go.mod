@@ -1,0 +1,3 @@
+module frac
+
+go 1.23

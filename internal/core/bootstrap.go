@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"frac/internal/dataset"
+	"frac/internal/rng"
+)
+
+// RunBootstrapEnsemble implements the CSAX-style bootstrap over FRaC (paper
+// §I: "CSAX includes bootstrapping over multiple FRaC runs"): each member
+// trains on a bootstrap resample of the normal training set and scores the
+// test set; members combine by per-feature median like the other ensembles.
+// This is the computation whose cost motivated the paper's scalable
+// variants; it composes with them — pass any term generator.
+//
+// terms is evaluated against the training feature count once; each member
+// reuses the same wiring but a fresh resample.
+func RunBootstrapEnsemble(train, test *dataset.Dataset, terms []Term, members int, src *rng.Source, cfg Config) ([]float64, error) {
+	if members < 1 {
+		members = 10
+	}
+	results := make([]*Result, members)
+	n := train.NumSamples()
+	for m := 0; m < members; m++ {
+		stream := src.StreamN("bootstrap", m)
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = stream.IntN(n)
+		}
+		resample := train.SelectSamples(rows)
+		if cfg.Tracker != nil {
+			cfg.Tracker.Alloc(resample.Bytes())
+		}
+		res, err := Run(resample, test, terms, cfg)
+		if cfg.Tracker != nil {
+			cfg.Tracker.Release(resample.Bytes())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap member %d: %w", m, err)
+		}
+		results[m] = res
+	}
+	return CombineResults(results, CombineMedian)
+}

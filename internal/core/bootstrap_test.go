@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"frac/internal/rng"
+	"frac/internal/stats"
+)
+
+func TestBootstrapEnsemblePreservesDetection(t *testing.T) {
+	rep := expressionReplicateCore(t, 60, 31)
+	scores, err := RunBootstrapEnsemble(rep.Train, rep.Test,
+		FullTerms(rep.Train.NumFeatures()), 5, rng.New(7), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SanityCheckScores(scores); err != nil {
+		t.Fatal(err)
+	}
+	auc := stats.AUC(scores, rep.Test.Anomalous)
+	t.Logf("bootstrap-ensemble AUC = %.3f", auc)
+	if auc < 0.7 {
+		t.Errorf("bootstrap ensemble AUC = %v on a strong-signal problem", auc)
+	}
+}
+
+func TestBootstrapEnsembleComposesWithFiltering(t *testing.T) {
+	rep := expressionReplicateCore(t, 60, 37)
+	kept := rng.New(9).SampleK(rep.Train.NumFeatures(), 30)
+	trainF := rep.Train.SelectFeatures(kept)
+	testF := rep.Test.SelectFeatures(kept)
+	scores, err := RunBootstrapEnsemble(trainF, testF, FilteredTerms(kept), 3, rng.New(7), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != rep.Test.NumSamples() {
+		t.Fatalf("%d scores", len(scores))
+	}
+	if err := SanityCheckScores(scores); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapDefaultsMembers(t *testing.T) {
+	rep := expressionReplicateCore(t, 20, 41)
+	// members < 1 should default rather than run zero members.
+	scores, err := RunBootstrapEnsemble(rep.Train, rep.Test, FullTerms(20), 0, rng.New(7), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != rep.Test.NumSamples() {
+		t.Fatal("no scores from defaulted ensemble")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"frac/internal/linalg"
+)
+
+// resultFor builds a Result with one term per (orig, scores...) row.
+func resultFor(nSamples int, rows map[int][]float64) *Result {
+	res := &Result{PerTerm: linalg.NewMatrix(len(rows), nSamples)}
+	i := 0
+	for orig, scores := range rows {
+		res.Terms = append(res.Terms, Term{Target: i, Orig: orig})
+		copy(res.PerTerm.Row(i), scores)
+		i++
+	}
+	return res
+}
+
+func TestCombineMedianAcrossMembers(t *testing.T) {
+	// Three members scoring the same feature 0: medians are taken
+	// per-sample.
+	m1 := resultFor(2, map[int][]float64{0: {1, 10}})
+	m2 := resultFor(2, map[int][]float64{0: {2, 20}})
+	m3 := resultFor(2, map[int][]float64{0: {9, 30}})
+	got, err := CombineResults([]*Result{m1, m2, m3}, CombineMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 20 {
+		t.Errorf("median combine = %v, want [2 20]", got)
+	}
+}
+
+func TestCombineMeanOption(t *testing.T) {
+	m1 := resultFor(1, map[int][]float64{0: {1}})
+	m2 := resultFor(1, map[int][]float64{0: {3}})
+	got, err := CombineResults([]*Result{m1, m2}, CombineMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Errorf("mean combine = %v, want 2", got[0])
+	}
+}
+
+func TestCombineDisjointFeaturesSums(t *testing.T) {
+	// Members scored different features: contributions add.
+	m1 := resultFor(1, map[int][]float64{0: {1}})
+	m2 := resultFor(1, map[int][]float64{1: {5}})
+	got, err := CombineResults([]*Result{m1, m2}, CombineMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 {
+		t.Errorf("disjoint combine = %v, want 6", got[0])
+	}
+}
+
+func TestCombineSingleMemberIsIdentity(t *testing.T) {
+	m := resultFor(3, map[int][]float64{0: {1, 2, 3}, 4: {10, 20, 30}})
+	got, err := CombineResults([]*Result{m}, CombineMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.PerTerm.Row(0)
+	want2 := m.PerTerm.Row(1)
+	for s := 0; s < 3; s++ {
+		if got[s] != want[s]+want2[s] {
+			t.Errorf("sample %d = %v, want %v", s, got[s], want[s]+want2[s])
+		}
+	}
+}
+
+func TestCombineMultiPredictorWithinMemberSums(t *testing.T) {
+	// One member with two terms for the same original feature: the double
+	// sum over j in the NS formula adds them before cross-member combining.
+	res := &Result{PerTerm: linalg.NewMatrix(2, 1)}
+	res.Terms = []Term{{Target: 0, Orig: 7}, {Target: 0, Orig: 7}}
+	res.PerTerm.Set(0, 0, 2)
+	res.PerTerm.Set(1, 0, 3)
+	got, err := CombineResults([]*Result{res}, CombineMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Errorf("within-member sum = %v, want 5", got[0])
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := CombineResults(nil, CombineMedian); err == nil {
+		t.Error("empty member list accepted")
+	}
+	a := resultFor(2, map[int][]float64{0: {1, 2}})
+	b := resultFor(3, map[int][]float64{0: {1, 2, 3}})
+	if _, err := CombineResults([]*Result{a, b}, CombineMedian); err == nil {
+		t.Error("mismatched sample counts accepted")
+	}
+}

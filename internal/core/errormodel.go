@@ -1,0 +1,67 @@
+package core
+
+import (
+	"frac/internal/stats"
+)
+
+// realErrorModel estimates the probability of a prediction residual for a
+// continuous target. The default is the paper's Gaussian fit ("error models
+// simply fit a Gaussian to the error distribution"); a KDE alternative is
+// available for the ablation benches.
+type realErrorModel struct {
+	gauss stats.Gaussian
+	kde   *stats.KDE // non-nil when the KDE model is selected
+}
+
+// fitRealError builds the error model from cross-validation residuals
+// (truth - prediction).
+func fitRealError(residuals []float64, useKDE bool) realErrorModel {
+	m := realErrorModel{gauss: stats.FitGaussian(residuals)}
+	if useKDE && len(residuals) > 1 {
+		m.kde = stats.FitKDE(residuals, 0)
+	}
+	return m
+}
+
+// Surprisal returns -log p(residual) in nats.
+func (m realErrorModel) Surprisal(residual float64) float64 {
+	if m.kde != nil {
+		return m.kde.Surprisal(residual)
+	}
+	return m.gauss.Surprisal(residual)
+}
+
+// Bytes reports the analytic footprint.
+func (m realErrorModel) Bytes() int64 {
+	b := int64(16)
+	if m.kde != nil {
+		// The KDE retains its residual sample plus the bandwidth.
+		b += 8 + int64(8)*int64(m.kde.Len())
+	}
+	return b
+}
+
+// EntropyEstimator selects how continuous feature entropy H(f_i) is
+// estimated for NS normalization and entropy filtering.
+type EntropyEstimator uint8
+
+const (
+	// GaussianEntropy fits a Gaussian and uses its closed-form differential
+	// entropy (fast; the engine default).
+	GaussianEntropy EntropyEstimator = iota
+	// KDEEntropy fits a Gaussian kernel density estimator and integrates
+	// -∫ f log f numerically — the estimator the paper specifies for
+	// entropy filtering (§II.A).
+	KDEEntropy
+)
+
+// continuousEntropy estimates the differential entropy of observed values.
+func continuousEntropy(values []float64, est EntropyEstimator) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	if est == KDEEntropy {
+		return stats.KDEDifferentialEntropy(values)
+	}
+	return stats.GaussianDifferentialEntropy(values)
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+	"frac/internal/parallel"
+	"frac/internal/resource"
+	"frac/internal/rng"
+	"frac/internal/stats"
+)
+
+// Config parameterizes FRaC training and scoring.
+type Config struct {
+	// Learners supplies the supervised models; zero value selects
+	// PaperLearners (linear SVR for continuous, trees for categorical).
+	Learners Learners
+	// CVFolds is the error-model cross-validation fold count. <= 1 selects 3.
+	CVFolds int
+	// KDEError switches the continuous error model from Gaussian to KDE.
+	KDEError bool
+	// Entropy selects the continuous entropy estimator for NS normalization.
+	Entropy EntropyEstimator
+	// Workers bounds training parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the run deterministic (CV fold shuffles, learner
+	// permutations).
+	Seed uint64
+	// Tracker, when non-nil, accrues the run's CPU time and analytic memory.
+	Tracker *resource.Tracker
+	// MinObserved is the minimum observed training values for a target
+	// before it falls back to the marginal predictor. <= 0 selects 6.
+	MinObserved int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Learners.Real == nil && c.Learners.Cat == nil {
+		c.Learners = PaperLearners()
+	}
+	if c.CVFolds <= 1 {
+		c.CVFolds = 3
+	}
+	if c.MinObserved <= 0 {
+		c.MinObserved = 6
+	}
+	return c
+}
+
+// termModel is one trained NS summand.
+type termModel struct {
+	term  Term
+	isCat bool
+	arity int
+
+	real    RealPredictor
+	realErr realErrorModel
+
+	cat    CatPredictor
+	catErr *stats.Confusion
+
+	entropy float64
+}
+
+// bytes reports the retained analytic footprint of the term.
+func (tm *termModel) bytes() int64 {
+	var b int64 = 64
+	if tm.isCat {
+		if tm.cat != nil {
+			b += tm.cat.Bytes()
+		}
+		if tm.catErr != nil {
+			b += int64(len(tm.catErr.Counts)) * 8
+		}
+	} else {
+		if tm.real != nil {
+			b += tm.real.Bytes()
+		}
+		b += tm.realErr.Bytes()
+	}
+	b += int64(len(tm.term.Inputs)) * 8
+	return b
+}
+
+// Model is a trained FRaC detector: every term's predictor, error model,
+// and entropy, ready to score new samples against the training population.
+type Model struct {
+	cfg    Config
+	schema dataset.Schema
+	terms  []termModel
+}
+
+// Train fits a FRaC model over the given term wiring. The training set must
+// be the all-normal population; terms index into its features.
+func Train(train *dataset.Dataset, terms []Term, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if train.NumSamples() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	for i, t := range terms {
+		if err := t.Validate(train.NumFeatures()); err != nil {
+			return nil, fmt.Errorf("term %d: %w", i, err)
+		}
+	}
+	m := &Model{cfg: cfg, schema: train.Schema, terms: make([]termModel, len(terms))}
+	root := rng.New(cfg.Seed)
+	var firstErr error
+	errs := make([]error, len(terms))
+	parallel.ForWorkers(len(terms), cfg.Workers, func(ti int) {
+		task := func() {
+			tm, err := trainTerm(train, terms[ti], cfg, root.StreamN("term", ti))
+			if err != nil {
+				errs[ti] = err
+				return
+			}
+			m.terms[ti] = tm
+			if cfg.Tracker != nil {
+				cfg.Tracker.Alloc(tm.bytes())
+			}
+		}
+		if cfg.Tracker != nil {
+			cfg.Tracker.TimeTask(task)
+		} else {
+			task()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		m.release()
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// release returns the model's tracked bytes to the tracker. Idempotent per
+// model instance.
+func (m *Model) release() {
+	if m.cfg.Tracker == nil || m.terms == nil {
+		return
+	}
+	for i := range m.terms {
+		if m.terms[i].real != nil || m.terms[i].cat != nil {
+			m.cfg.Tracker.Release(m.terms[i].bytes())
+		}
+	}
+	m.terms = nil
+}
+
+// Bytes reports the model's retained analytic footprint.
+func (m *Model) Bytes() int64 {
+	var b int64
+	for i := range m.terms {
+		b += m.terms[i].bytes()
+	}
+	return b
+}
+
+// NumTerms reports the number of NS summands.
+func (m *Model) NumTerms() int { return len(m.terms) }
+
+// trainTerm fits one NS summand.
+func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source) (termModel, error) {
+	feat := train.Schema[term.Target]
+	tm := termModel{term: term, isCat: feat.Kind == dataset.Categorical, arity: feat.Arity}
+
+	// Observed training rows for this target.
+	var rows []int
+	for i := 0; i < train.NumSamples(); i++ {
+		if !dataset.IsMissing(train.X.At(i, term.Target)) {
+			rows = append(rows, i)
+		}
+	}
+	if tm.isCat {
+		y := make([]int, len(rows))
+		for i, r := range rows {
+			y[i] = int(train.X.At(r, term.Target))
+		}
+		tm.entropy = stats.ShannonEntropy(y, feat.Arity)
+		trainCatTerm(&tm, train, term, rows, y, cfg, src)
+	} else {
+		y := make([]float64, len(rows))
+		for i, r := range rows {
+			y[i] = train.X.At(r, term.Target)
+		}
+		tm.entropy = continuousEntropy(y, cfg.Entropy)
+		trainRealTerm(&tm, train, term, rows, y, cfg, src)
+	}
+	return tm, nil
+}
+
+// gather copies the input columns of the selected rows into a fresh matrix,
+// preserving NaN missing markers, and reports its transient footprint to the
+// tracker for peak accounting.
+func gather(train *dataset.Dataset, rows, inputs []int) *linalg.Matrix {
+	x := linalg.NewMatrix(len(rows), len(inputs))
+	for i, r := range rows {
+		src := train.Sample(r)
+		dst := x.Row(i)
+		for j, c := range inputs {
+			dst[j] = src[c]
+		}
+	}
+	return x
+}
+
+func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []float64, cfg Config, src *rng.Source) {
+	useMarginal := len(rows) < cfg.MinObserved || len(term.Inputs) == 0
+	if useMarginal {
+		tm.real = marginalRealPredictor(y)
+		resid := make([]float64, len(y))
+		mean := stats.Mean(y)
+		for i, v := range y {
+			resid[i] = v - mean
+		}
+		tm.realErr = fitRealError(resid, cfg.KDEError)
+		return
+	}
+	inputSchema := train.Schema.Select(term.Inputs)
+	x := gather(train, rows, term.Inputs)
+	if cfg.Tracker != nil {
+		cfg.Tracker.Alloc(x.Bytes())
+		defer cfg.Tracker.Release(x.Bytes())
+	}
+	// Cross-validated residuals for the error model.
+	folds := dataset.KFold(len(rows), cfg.CVFolds, src)
+	residuals := make([]float64, 0, len(rows))
+	for fi, fold := range folds {
+		trIdx := complementIndices(len(rows), fold)
+		if len(trIdx) == 0 || len(fold) == 0 {
+			continue
+		}
+		xTr, yTr := subMatrix(x, trIdx), subFloats(y, trIdx)
+		p := cfg.Learners.Real(xTr, inputSchema, yTr, src.Seed()^uint64(fi+1))
+		for _, h := range fold {
+			residuals = append(residuals, y[h]-p.Predict(x.Row(h)))
+		}
+	}
+	if len(residuals) == 0 {
+		residuals = []float64{0}
+	}
+	tm.realErr = fitRealError(residuals, cfg.KDEError)
+	tm.real = cfg.Learners.Real(x, inputSchema, y, src.Seed())
+}
+
+func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []int, cfg Config, src *rng.Source) {
+	conf := stats.NewConfusion(tm.arity)
+	useMarginal := len(rows) < cfg.MinObserved || len(term.Inputs) == 0
+	if useMarginal {
+		tm.cat = marginalCatPredictor(y, tm.arity)
+		for _, v := range y {
+			conf.Add(v, tm.cat.PredictLabel(nil))
+		}
+		tm.catErr = conf
+		return
+	}
+	inputSchema := train.Schema.Select(term.Inputs)
+	x := gather(train, rows, term.Inputs)
+	if cfg.Tracker != nil {
+		cfg.Tracker.Alloc(x.Bytes())
+		defer cfg.Tracker.Release(x.Bytes())
+	}
+	folds := dataset.KFold(len(rows), cfg.CVFolds, src)
+	for fi, fold := range folds {
+		trIdx := complementIndices(len(rows), fold)
+		if len(trIdx) == 0 || len(fold) == 0 {
+			continue
+		}
+		xTr, yTr := subMatrix(x, trIdx), subInts(y, trIdx)
+		p := cfg.Learners.Cat(xTr, inputSchema, yTr, tm.arity, src.Seed()^uint64(fi+1))
+		for _, h := range fold {
+			conf.Add(y[h], p.PredictLabel(x.Row(h)))
+		}
+	}
+	tm.catErr = conf
+	tm.cat = cfg.Learners.Cat(x, inputSchema, y, tm.arity, src.Seed())
+}
+
+func complementIndices(n int, exclude []int) []int {
+	mark := make([]bool, n)
+	for _, e := range exclude {
+		mark[e] = true
+	}
+	out := make([]int, 0, n-len(exclude))
+	for i := 0; i < n; i++ {
+		if !mark[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func subMatrix(x *linalg.Matrix, rows []int) *linalg.Matrix {
+	out := linalg.NewMatrix(len(rows), x.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), x.Row(r))
+	}
+	return out
+}
+
+func subFloats(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, r := range idx {
+		out[i] = y[r]
+	}
+	return out
+}
+
+func subInts(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, r := range idx {
+		out[i] = y[r]
+	}
+	return out
+}
+
+// ScoreTerm returns the NS contribution of term ti for one sample (0 when
+// the target value is missing, per the paper's formula).
+func (m *Model) ScoreTerm(ti int, sample []float64) float64 {
+	tm := &m.terms[ti]
+	v := sample[tm.term.Target]
+	if dataset.IsMissing(v) {
+		return 0
+	}
+	inputs := make([]float64, len(tm.term.Inputs))
+	for j, c := range tm.term.Inputs {
+		inputs[j] = sample[c]
+	}
+	if tm.isCat {
+		pred := tm.cat.PredictLabel(inputs)
+		label := int(v)
+		if float64(label) != v || label < 0 || label >= tm.arity {
+			// A category never declared in the schema is maximally
+			// surprising: use the least likely class under this prediction.
+			worst := 0.0
+			for c := 0; c < tm.arity; c++ {
+				if s := tm.catErr.Surprisal(c, pred); s > worst {
+					worst = s
+				}
+			}
+			return worst - tm.entropy
+		}
+		return tm.catErr.Surprisal(label, pred) - tm.entropy
+	}
+	pred := tm.real.Predict(inputs)
+	return tm.realErr.Surprisal(v-pred) - tm.entropy
+}
+
+// Score returns the total normalized surprisal of a sample: higher means
+// more anomalous.
+func (m *Model) Score(sample []float64) float64 {
+	var ns float64
+	for ti := range m.terms {
+		ns += m.ScoreTerm(ti, sample)
+	}
+	return ns
+}
+
+// ScoreSet holds per-term NS contributions for a scored data set.
+type ScoreSet struct {
+	Terms []Term
+	// PerTerm is terms x samples: PerTerm.At(t, s) is term t's NS
+	// contribution for sample s.
+	PerTerm *linalg.Matrix
+}
+
+// Totals sums term contributions into one NS score per sample.
+func (s *ScoreSet) Totals() []float64 {
+	out := make([]float64, s.PerTerm.Cols)
+	for t := 0; t < s.PerTerm.Rows; t++ {
+		row := s.PerTerm.Row(t)
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// ScoreDataset scores every sample of test, in parallel over terms, and
+// reports the cost into the model's tracker.
+func (m *Model) ScoreDataset(test *dataset.Dataset) (*ScoreSet, error) {
+	if test.NumFeatures() != len(m.schema) {
+		return nil, fmt.Errorf("core: test set has %d features, model expects %d", test.NumFeatures(), len(m.schema))
+	}
+	ss := &ScoreSet{PerTerm: linalg.NewMatrix(len(m.terms), test.NumSamples())}
+	ss.Terms = make([]Term, len(m.terms))
+	for i := range m.terms {
+		ss.Terms[i] = m.terms[i].term
+	}
+	parallel.ForWorkers(len(m.terms), m.cfg.Workers, func(ti int) {
+		task := func() {
+			row := ss.PerTerm.Row(ti)
+			for s := 0; s < test.NumSamples(); s++ {
+				row[s] = m.ScoreTerm(ti, test.Sample(s))
+			}
+		}
+		if m.cfg.Tracker != nil {
+			m.cfg.Tracker.TimeTask(task)
+		} else {
+			task()
+		}
+	})
+	return ss, nil
+}
+
+// Result is the outcome of a complete Run: per-term scores plus cost.
+type Result struct {
+	Terms   []Term
+	PerTerm *linalg.Matrix // terms x test samples
+	Scores  []float64      // total NS per test sample
+	Cost    resource.Cost
+}
+
+// Run trains a FRaC model over the term wiring, scores the test set, and
+// releases the model, returning per-term and total scores with the run's
+// resource cost. This is the primitive every variant and ensemble member
+// goes through.
+func Run(train, test *dataset.Dataset, terms []Term, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ownTracker := cfg.Tracker == nil
+	if ownTracker {
+		cfg.Tracker = resource.NewTracker()
+	}
+	model, err := Train(train, terms, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := model.ScoreDataset(test)
+	if err != nil {
+		model.release()
+		return nil, err
+	}
+	model.release()
+	res := &Result{Terms: ss.Terms, PerTerm: ss.PerTerm, Scores: ss.Totals()}
+	if ownTracker {
+		res.Cost = cfg.Tracker.Stop()
+	}
+	return res, nil
+}
+
+// SanityCheckScores reports an error if any score is non-finite, which would
+// indicate an error-model defect.
+func SanityCheckScores(scores []float64) error {
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("core: score %d is %v", i, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"testing"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/rng"
+	"frac/internal/stats"
+	"frac/internal/synth"
+	"frac/internal/tree"
+)
+
+func treeDefaults() tree.Params { return tree.Params{} }
+
+// expressionReplicate builds a small module-structured expression problem
+// with a known signal.
+func expressionReplicate(t *testing.T, features int, seed uint64) dataset.Replicate {
+	t.Helper()
+	params := synth.ExpressionParams{
+		Features: features, Normal: 40, Anomaly: 20,
+		Modules: features / 20, ModuleSize: 8,
+		NoiseSD: 0.5, DisruptFrac: 0.6,
+	}
+	d, err := synth.GenerateExpression("it-expr", params, rng.New(seed))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	reps, err := dataset.MakeReplicates(d, 1, 2.0/3, rng.New(seed+1))
+	if err != nil {
+		t.Fatalf("replicates: %v", err)
+	}
+	return reps[0]
+}
+
+func testAUC(t *testing.T, scores []float64, test *dataset.Dataset) float64 {
+	t.Helper()
+	if err := core.SanityCheckScores(scores); err != nil {
+		t.Fatalf("scores: %v", err)
+	}
+	return stats.AUC(scores, test.Anomalous)
+}
+
+func TestFullFRaCDetectsExpressionAnomalies(t *testing.T) {
+	rep := expressionReplicate(t, 120, 7)
+	res, err := core.Run(rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()), core.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	auc := testAUC(t, res.Scores, rep.Test)
+	t.Logf("full FRaC AUC = %.3f", auc)
+	if auc < 0.70 {
+		t.Errorf("full FRaC AUC = %.3f, want >= 0.70 on a strong-signal problem", auc)
+	}
+}
+
+func TestFilteredFRaCPreservesAUC(t *testing.T) {
+	rep := expressionReplicate(t, 120, 19)
+	full, err := core.Run(rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()), core.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	fullAUC := testAUC(t, full.Scores, rep.Test)
+
+	scores, err := core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, 0.20,
+		core.EnsembleSpec{Members: 10}, rng.New(3), core.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("ensemble run: %v", err)
+	}
+	ensAUC := testAUC(t, scores, rep.Test)
+	t.Logf("full AUC = %.3f, filter-ensemble AUC = %.3f", fullAUC, ensAUC)
+	if ensAUC < fullAUC-0.15 {
+		t.Errorf("filter ensemble AUC %.3f fell far below full AUC %.3f", ensAUC, fullAUC)
+	}
+}
+
+func TestDiverseFRaCPreservesAUC(t *testing.T) {
+	rep := expressionReplicate(t, 120, 23)
+	res, err := core.RunDiverse(rep.Train, rep.Test, 0.5, 1, rng.New(5), core.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("diverse run: %v", err)
+	}
+	auc := testAUC(t, res.Scores, rep.Test)
+	t.Logf("diverse AUC = %.3f", auc)
+	if auc < 0.65 {
+		t.Errorf("diverse FRaC AUC = %.3f, want >= 0.65", auc)
+	}
+}
+
+func TestJLPreprojectionPreservesAUC(t *testing.T) {
+	rep := expressionReplicate(t, 120, 29)
+	res, err := core.RunJL(rep.Train, rep.Test, core.JLSpec{Dim: 48}, rng.New(5), core.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("jl run: %v", err)
+	}
+	auc := testAUC(t, res.Scores, rep.Test)
+	t.Logf("JL AUC = %.3f", auc)
+	if auc < 0.65 {
+		t.Errorf("JL FRaC AUC = %.3f, want >= 0.65", auc)
+	}
+}
+
+func TestSNPNullHasNoSignal(t *testing.T) {
+	d, err := synth.GenerateSNP("it-null", synth.SNPParams{
+		Features: 60, Normal: 60, Anomaly: 30, BlockSize: 6, LD: 0.7,
+	}, rng.New(41))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	reps, err := dataset.MakeReplicates(d, 1, 2.0/3, rng.New(42))
+	if err != nil {
+		t.Fatalf("replicates: %v", err)
+	}
+	rep := reps[0]
+	res, err := core.Run(rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()),
+		core.Config{Seed: 11, Learners: core.TreeLearners(treeDefaults())})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	auc := testAUC(t, res.Scores, rep.Test)
+	t.Logf("null SNP AUC = %.3f", auc)
+	if auc < 0.25 || auc > 0.75 {
+		t.Errorf("null SNP AUC = %.3f, want near 0.5", auc)
+	}
+}
+
+func TestConfoundedSNPIsDetectable(t *testing.T) {
+	train, test, err := synth.GenerateConfoundedSNP("it-confounded", synth.SNPParams{
+		Features: 400, Normal: 80, Anomaly: 30, BlockSize: 10, LD: 0.75,
+		MAFLow: 0.05, MAFHigh: 0.22,
+		Confounded: true, DriftFrac: 0.10, DriftAmount: 0.35,
+	}, 10, rng.New(43))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := core.Config{Seed: 11, Learners: core.TreeLearners(treeDefaults())}
+
+	// Entropy filtering should lock onto the drifted (high-entropy) sites.
+	src := rng.New(7)
+	res, kept, err := core.RunFullFiltered(train, test, core.EntropyFilter, 0.10, src, cfg)
+	if err != nil {
+		t.Fatalf("entropy run: %v", err)
+	}
+	auc := testAUC(t, res.Scores, test)
+	t.Logf("confounded entropy-filter AUC = %.3f (kept %d sites)", auc, len(kept))
+	if auc < 0.85 {
+		t.Errorf("entropy filtering AUC = %.3f, want >= 0.85 on the ancestry confound", auc)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+	"frac/internal/rng"
+	"frac/internal/synth"
+	"frac/internal/tree"
+)
+
+// confoundedRunForInterpretation builds a confounded SNP problem with known
+// drifted sites and runs a 25%-filtered FRaC over it.
+func confoundedRunForInterpretation(t *testing.T) (*Result, []bool, map[int]bool) {
+	t.Helper()
+	train, test, truth, err := synth.GenerateConfoundedSNPWithTruth("interp", synth.SNPParams{
+		Features: 400, Normal: 80, Anomaly: 30, BlockSize: 10, LD: 0.75,
+		MAFLow: 0.05, MAFHigh: 0.22,
+		Confounded: true, DriftFrac: 0.10, DriftAmount: 0.35,
+	}, 10, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dataset.FixedSplit(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Learners: TreeLearners(tree.Params{})}
+	res, _, err := RunFullFiltered(rep.Train, rep.Test, RandomFilter, 0.25, rng.New(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := map[int]bool{}
+	for _, s := range truth.DriftedSites {
+		drifted[s] = true
+	}
+	return res, rep.Test.Anomalous, drifted
+}
+
+// influenceFixture: 3 terms x 4 samples, labels [F T F T].
+func influenceFixture() (*Result, []bool) {
+	res := &Result{PerTerm: linalg.NewMatrix(3, 4)}
+	res.Terms = []Term{{Target: 0, Orig: 0}, {Target: 1, Orig: 1}, {Target: 2, Orig: 2}}
+	copy(res.PerTerm.Row(0), []float64{0, 10, 0, 10}) // strongly anomaly-linked
+	copy(res.PerTerm.Row(1), []float64{1, 1, 1, 1})   // flat
+	copy(res.PerTerm.Row(2), []float64{5, 0, 5, 0})   // control-linked
+	return res, []bool{false, true, false, true}
+}
+
+func TestRankInfluenceOrdering(t *testing.T) {
+	res, labels := influenceFixture()
+	ranked, err := RankInfluence(res, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("%d ranked", len(ranked))
+	}
+	if ranked[0].Orig != 0 || ranked[2].Orig != 2 {
+		t.Errorf("order = %v, %v, %v", ranked[0].Orig, ranked[1].Orig, ranked[2].Orig)
+	}
+	if math.Abs(ranked[0].Delta-10) > 1e-12 {
+		t.Errorf("top delta = %v, want 10", ranked[0].Delta)
+	}
+	if math.Abs(ranked[1].Delta) > 1e-12 {
+		t.Errorf("flat term delta = %v", ranked[1].Delta)
+	}
+}
+
+func TestRankInfluenceMergesOrig(t *testing.T) {
+	res := &Result{PerTerm: linalg.NewMatrix(2, 2)}
+	res.Terms = []Term{{Target: 0, Orig: 7}, {Target: 1, Orig: 7}}
+	copy(res.PerTerm.Row(0), []float64{0, 2})
+	copy(res.PerTerm.Row(1), []float64{0, 3})
+	ranked, err := RankInfluence(res, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 1 || ranked[0].Delta != 5 {
+		t.Errorf("merged influence = %+v", ranked)
+	}
+}
+
+func TestRankInfluenceErrors(t *testing.T) {
+	res, _ := influenceFixture()
+	if _, err := RankInfluence(res, []bool{true}); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := RankInfluence(res, []bool{true, true, true, true}); err == nil {
+		t.Error("single-group labels accepted")
+	}
+}
+
+func TestTopInfluential(t *testing.T) {
+	res, labels := influenceFixture()
+	top, err := TopInfluential(res, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != 0 {
+		t.Errorf("top = %v", top)
+	}
+	all, _ := TopInfluential(res, labels, 99)
+	if len(all) != 3 {
+		t.Errorf("k clamp failed: %v", all)
+	}
+}
+
+func TestEnrichment(t *testing.T) {
+	known := map[int]bool{1: true, 2: true, 3: true}
+	hits, p := Enrichment([]int{1, 5, 9}, known, 100)
+	if hits != 1 {
+		t.Errorf("hits = %d", hits)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("p = %v", p)
+	}
+	// More hits from the same pool must be less probable.
+	_, p2 := Enrichment([]int{1, 2, 9}, known, 100)
+	if p2 >= p {
+		t.Errorf("2-hit p %v should be < 1-hit p %v", p2, p)
+	}
+	// No known features: p = 1 trivially (0 hits needed).
+	hits, p = Enrichment([]int{4, 5}, map[int]bool{}, 100)
+	if hits != 0 || p != 1 {
+		t.Errorf("empty known: hits=%d p=%v", hits, p)
+	}
+}
+
+// End-to-end: on the confounded SNP construction, the drifted sites should
+// be enriched among the most influential features of a filtered run — the
+// paper's observation that its random schizophrenia models surfaced
+// disease-adjacent SNPs.
+func TestInfluenceFindsDriftedSitesEndToEnd(t *testing.T) {
+	// Reuse the integration fixture via a direct small construction.
+	res, labels, drifted := confoundedRunForInterpretation(t)
+	top, err := TopInfluential(res, labels, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, p := Enrichment(top, drifted, 400)
+	t.Logf("drifted hits in top-20: %d (p = %.4g)", hits, p)
+	if hits < 3 {
+		t.Errorf("only %d drifted sites in the top 20 influential features", hits)
+	}
+	if p > 0.05 {
+		t.Errorf("enrichment p = %v, want significant", p)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"frac/internal/binio"
+	"frac/internal/dataset"
+	"frac/internal/stats"
+	"frac/internal/svm"
+	"frac/internal/tree"
+)
+
+// Model persistence: train once (hours on real genomic data at full scale),
+// save, and score new patient samples later without retraining. The format
+// is a versioned little-endian binary stream covering every predictor type
+// the built-in learners produce; custom Learners implementations are not
+// serializable and WriteTo reports them as errors.
+
+const (
+	modelMagic   = "FRAC-MODEL"
+	modelVersion = 1
+)
+
+// Predictor type tags.
+const (
+	tagConstantReal = iota
+	tagImputedSVR
+	tagTreeRegressor
+	tagConstantCat
+	tagImputedSVC
+	tagTreeClassifier
+)
+
+// WriteTo serializes the trained model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	bw.String(modelMagic)
+	bw.Int(modelVersion)
+	encodeSchema(bw, m.schema)
+	bw.Int(len(m.terms))
+	for i := range m.terms {
+		if err := encodeTerm(bw, &m.terms[i]); err != nil {
+			return 0, err
+		}
+	}
+	// The io.WriterTo contract wants a byte count; the binio writer does
+	// not track one, so report 0 with the error status (callers here use
+	// the error only).
+	return 0, bw.Err()
+}
+
+// ReadModel deserializes a model written by WriteTo. The model scores
+// samples but is not registered with any resource tracker.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := binio.NewReader(r)
+	if magic := br.String(); magic != modelMagic {
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: not a FRaC model (magic %q)", magic)
+	}
+	if v := br.Int(); v != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", v)
+	}
+	schema := decodeSchema(br)
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	n := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > binio.MaxSliceLen {
+		return nil, fmt.Errorf("core: implausible term count %d", n)
+	}
+	m := &Model{schema: schema, terms: make([]termModel, n)}
+	for i := range m.terms {
+		tm, err := decodeTerm(br, len(schema))
+		if err != nil {
+			return nil, fmt.Errorf("core: term %d: %w", i, err)
+		}
+		m.terms[i] = tm
+	}
+	return m, br.Err()
+}
+
+func encodeSchema(w *binio.Writer, s dataset.Schema) {
+	w.Int(len(s))
+	for _, f := range s {
+		w.String(f.Name)
+		w.U64(uint64(f.Kind))
+		w.Int(f.Arity)
+	}
+}
+
+func decodeSchema(r *binio.Reader) dataset.Schema {
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > binio.MaxSliceLen {
+		return nil
+	}
+	s := make(dataset.Schema, n)
+	for i := range s {
+		s[i].Name = r.String()
+		s[i].Kind = dataset.Kind(r.U64())
+		s[i].Arity = r.Int()
+	}
+	return s
+}
+
+func encodeTerm(w *binio.Writer, tm *termModel) error {
+	w.Int(tm.term.Target)
+	w.Int(tm.term.Orig)
+	w.Ints(tm.term.Inputs)
+	w.Bool(tm.isCat)
+	w.Int(tm.arity)
+	w.F64(tm.entropy)
+	if tm.isCat {
+		// Confusion error model.
+		w.Int(tm.catErr.K)
+		w.Ints(tm.catErr.Counts)
+		w.F64(tm.catErr.Smoothing)
+		return encodeCatPredictor(w, tm.cat)
+	}
+	// Gaussian (+ optional KDE) error model.
+	w.F64(tm.realErr.gauss.Mu)
+	w.F64(tm.realErr.gauss.Sigma)
+	w.Bool(tm.realErr.kde != nil)
+	if tm.realErr.kde != nil {
+		w.F64(tm.realErr.kde.Bandwidth())
+		w.F64s(tm.realErr.kde.Points())
+	}
+	return encodeRealPredictor(w, tm.real)
+}
+
+func decodeTerm(r *binio.Reader, numFeatures int) (termModel, error) {
+	var tm termModel
+	tm.term.Target = r.Int()
+	tm.term.Orig = r.Int()
+	tm.term.Inputs = r.Ints()
+	tm.isCat = r.Bool()
+	tm.arity = r.Int()
+	tm.entropy = r.F64()
+	if err := r.Err(); err != nil {
+		return tm, err
+	}
+	if err := tm.term.Validate(numFeatures); err != nil {
+		return tm, err
+	}
+	if tm.isCat {
+		k := r.Int()
+		counts := r.Ints()
+		smoothing := r.F64()
+		if err := r.Err(); err != nil {
+			return tm, err
+		}
+		if k < 1 || len(counts) != k*k {
+			return tm, fmt.Errorf("confusion matrix %d with %d counts", k, len(counts))
+		}
+		tm.catErr = &stats.Confusion{K: k, Counts: counts, Smoothing: smoothing}
+		cat, err := decodeCatPredictor(r)
+		if err != nil {
+			return tm, err
+		}
+		tm.cat = cat
+		return tm, nil
+	}
+	tm.realErr.gauss = stats.Gaussian{Mu: r.F64(), Sigma: r.F64()}
+	if r.Bool() {
+		bw := r.F64()
+		pts := r.F64s()
+		if err := r.Err(); err != nil {
+			return tm, err
+		}
+		if len(pts) == 0 {
+			return tm, fmt.Errorf("empty KDE sample")
+		}
+		tm.realErr.kde = stats.FitKDE(pts, bw)
+	}
+	real, err := decodeRealPredictor(r)
+	if err != nil {
+		return tm, err
+	}
+	tm.real = real
+	return tm, nil
+}
+
+func encodeRealPredictor(w *binio.Writer, p RealPredictor) error {
+	switch v := p.(type) {
+	case constantReal:
+		w.Int(tagConstantReal)
+		w.F64(v.value)
+	case *imputedReal:
+		w.Int(tagImputedSVR)
+		v.model.Encode(w)
+		w.F64s(v.means)
+		w.F64s(v.scales)
+		w.F64(v.yMean)
+		w.F64(v.ySD)
+	case *tree.Regressor:
+		w.Int(tagTreeRegressor)
+		v.Encode(w)
+	default:
+		return fmt.Errorf("core: predictor type %T is not serializable", p)
+	}
+	return w.Err()
+}
+
+func decodeRealPredictor(r *binio.Reader) (RealPredictor, error) {
+	switch tag := r.Int(); tag {
+	case tagConstantReal:
+		return constantReal{value: r.F64()}, r.Err()
+	case tagImputedSVR:
+		m, err := svm.DecodeSVR(r)
+		if err != nil {
+			return nil, err
+		}
+		p := &imputedReal{model: m, means: r.F64s(), scales: r.F64s(), yMean: r.F64(), ySD: r.F64()}
+		return p, r.Err()
+	case tagTreeRegressor:
+		return tree.DecodeRegressor(r)
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: unknown real predictor tag %d", tag)
+	}
+}
+
+func encodeCatPredictor(w *binio.Writer, p CatPredictor) error {
+	switch v := p.(type) {
+	case constantCat:
+		w.Int(tagConstantCat)
+		w.Int(v.label)
+	case *imputedCat:
+		w.Int(tagImputedSVC)
+		v.model.Encode(w)
+		w.F64s(v.means)
+	case *tree.Classifier:
+		w.Int(tagTreeClassifier)
+		v.Encode(w)
+	default:
+		return fmt.Errorf("core: predictor type %T is not serializable", p)
+	}
+	return w.Err()
+}
+
+func decodeCatPredictor(r *binio.Reader) (CatPredictor, error) {
+	switch tag := r.Int(); tag {
+	case tagConstantCat:
+		return constantCat{label: r.Int()}, r.Err()
+	case tagImputedSVC:
+		m, err := svm.DecodeMultiSVC(r)
+		if err != nil {
+			return nil, err
+		}
+		return &imputedCat{model: m, means: r.F64s()}, r.Err()
+	case tagTreeClassifier:
+		return tree.DecodeClassifier(r)
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: unknown categorical predictor tag %d", tag)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/rng"
+)
+
+func mixedTrainTest(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	schema := dataset.Schema{
+		{Name: "r", Kind: dataset.Real},
+		{Name: "c", Kind: dataset.Categorical, Arity: 3},
+	}
+	src := rng.New(1)
+	train := dataset.New("train", schema, 30)
+	for i := 0; i < 30; i++ {
+		train.Sample(i)[0] = src.Norm()
+		train.Sample(i)[1] = float64(src.IntN(3))
+	}
+	test := dataset.New("test", schema, 5)
+	test.Anomalous = make([]bool, 5)
+	for i := 0; i < 5; i++ {
+		test.Sample(i)[0] = src.Norm()
+		test.Sample(i)[1] = float64(src.IntN(3))
+		test.Anomalous[i] = i%2 == 0
+	}
+	return train, test
+}
+
+func TestRunJLProducesProjectedScores(t *testing.T) {
+	train, test := mixedTrainTest(t)
+	res, err := RunJL(train, test, JLSpec{Dim: 6}, rng.New(2), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != test.NumSamples() {
+		t.Fatalf("%d scores", len(res.Scores))
+	}
+	if len(res.Terms) != 6 {
+		t.Errorf("%d terms, want one per projected dim", len(res.Terms))
+	}
+	if err := SanityCheckScores(res.Scores); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJLRejectsBadDim(t *testing.T) {
+	train, test := mixedTrainTest(t)
+	if _, err := RunJL(train, test, JLSpec{Dim: 0}, rng.New(2), Config{}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+}
+
+func TestRunJLDeterministicGivenSeeds(t *testing.T) {
+	train, test := mixedTrainTest(t)
+	a, err := RunJL(train, test, JLSpec{Dim: 4}, rng.New(9), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunJL(train, test, JLSpec{Dim: 4}, rng.New(9), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatal("same seeds, different JL scores")
+		}
+	}
+	c, err := RunJL(train, test, JLSpec{Dim: 4}, rng.New(10), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Scores {
+		if a.Scores[i] != c.Scores[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different projection seeds produced identical scores")
+	}
+}
+
+func TestProjectDatasetCarriesLabels(t *testing.T) {
+	train, test := mixedTrainTest(t)
+	_ = train
+	src := rng.New(4)
+	res, err := RunJL(train, test, JLSpec{Dim: 3}, src, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels aren't part of the result, but the run must succeed with a
+	// labeled test set and produce exactly one score per labeled sample.
+	if len(res.Scores) != len(test.Anomalous) {
+		t.Error("score/label count mismatch")
+	}
+}

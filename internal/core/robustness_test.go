@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/rng"
+	"frac/internal/stats"
+	"frac/internal/synth"
+	"frac/internal/tree"
+)
+
+// Failure-injection and invariance tests for the engine.
+
+func TestNovelCategoryAtScoreTime(t *testing.T) {
+	schema := dataset.Schema{
+		{Name: "a", Kind: dataset.Categorical, Arity: 2},
+		{Name: "b", Kind: dataset.Categorical, Arity: 2},
+	}
+	train := dataset.New("train", schema, 20)
+	for i := 0; i < 20; i++ {
+		train.Sample(i)[0] = float64(i % 2)
+		train.Sample(i)[1] = float64(i % 2)
+	}
+	model, err := Train(train, FullTerms(2), Config{Seed: 1, Learners: TreeLearners(tree.Params{MinLeaf: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A label outside the declared arity must not panic and must be at
+	// least as surprising as a declared label.
+	weird := model.Score([]float64{5, 1})
+	normal := model.Score([]float64{1, 1})
+	if math.IsNaN(weird) || math.IsInf(weird, 0) {
+		t.Fatalf("novel-category score = %v", weird)
+	}
+	if weird < normal {
+		t.Errorf("novel category scored %v < declared value %v", weird, normal)
+	}
+}
+
+func TestTranslationInvarianceOfRealFRaC(t *testing.T) {
+	// Shifting a real feature by a constant in both splits must not change
+	// anomaly ranking: SVR has a bias term and error models are residual
+	// based.
+	rep := expressionReplicateCore(t, 60, 5)
+	res1, err := Run(rep.Train, rep.Test, FullTerms(rep.Train.NumFeatures()), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := func(d *dataset.Dataset) {
+		for i := 0; i < d.NumSamples(); i++ {
+			d.Sample(i)[0] += 100
+		}
+	}
+	shift(rep.Train)
+	shift(rep.Test)
+	res2, err := Run(rep.Train, rep.Test, FullTerms(rep.Train.NumFeatures()), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := stats.AUC(res1.Scores, rep.Test.Anomalous)
+	a2 := stats.AUC(res2.Scores, rep.Test.Anomalous)
+	if math.Abs(a1-a2) > 0.05 {
+		t.Errorf("translation changed AUC: %v vs %v", a1, a2)
+	}
+}
+
+func expressionReplicateCore(t *testing.T, features int, seed uint64) dataset.Replicate {
+	t.Helper()
+	d, err := synth.GenerateExpression("robust", synth.ExpressionParams{
+		Features: features, Normal: 40, Anomaly: 15,
+		Modules: features / 15, ModuleSize: 10,
+		NoiseSD: 0.5, DisruptFrac: 0.5, DisruptShift: 1.5,
+	}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := dataset.MakeReplicates(d, 1, 2.0/3, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps[0]
+}
+
+func TestHeavyMissingnessStillRuns(t *testing.T) {
+	d, err := synth.GenerateExpression("missing", synth.ExpressionParams{
+		Features: 40, Normal: 40, Anomaly: 15,
+		Modules: 4, ModuleSize: 8, DisruptFrac: 0.5, DisruptShift: 1.5,
+		MissingFrac: 0.3,
+	}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := dataset.MakeReplicates(d, 1, 2.0/3, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reps[0]
+	res, err := Run(rep.Train, rep.Test, FullTerms(d.NumFeatures()), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SanityCheckScores(res.Scores); err != nil {
+		t.Fatal(err)
+	}
+	if auc := stats.AUC(res.Scores, rep.Test.Anomalous); auc < 0.6 {
+		t.Errorf("AUC = %v under 30%% missingness; signal should survive", auc)
+	}
+}
+
+func TestDetectableFracCeilingProperty(t *testing.T) {
+	// The per-sample ceiling: with AnomalyDetectableFrac = pi and a strong
+	// signal, AUC should approach pi + (1-pi)/2, regardless of variant.
+	const pi = 0.5
+	d, err := synth.GenerateExpression("ceiling", synth.ExpressionParams{
+		Features: 120, Normal: 60, Anomaly: 40,
+		Modules: 10, ModuleSize: 10,
+		NoiseSD: 0.4, DisruptFrac: 0.5, DisruptShift: 2.0,
+		AnomalyDetectableFrac: pi,
+	}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := dataset.MakeReplicates(d, 2, 2.0/3, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := pi + (1-pi)/2
+	for _, rep := range reps {
+		res, err := Run(rep.Train, rep.Test, FullTerms(d.NumFeatures()), Config{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc := stats.AUC(res.Scores, rep.Test.Anomalous)
+		if math.Abs(auc-ceiling) > 0.12 {
+			t.Errorf("AUC = %v, want near ceiling %v", auc, ceiling)
+		}
+	}
+}
+
+func TestConstantFeatureDoesNotPoisonScores(t *testing.T) {
+	schema := dataset.Schema{
+		{Name: "const", Kind: dataset.Real},
+		{Name: "x", Kind: dataset.Real},
+		{Name: "y", Kind: dataset.Real},
+	}
+	train := dataset.New("train", schema, 20)
+	for i := 0; i < 20; i++ {
+		v := float64(i)
+		train.Sample(i)[0] = 7 // constant
+		train.Sample(i)[1] = v
+		train.Sample(i)[2] = 2 * v
+	}
+	test := dataset.New("test", schema, 2)
+	copy(test.Sample(0), []float64{7, 5, 10})
+	copy(test.Sample(1), []float64{7, 5, -10})
+	test.Anomalous = []bool{false, true}
+	res, err := Run(train, test, FullTerms(3), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SanityCheckScores(res.Scores); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[1] <= res.Scores[0] {
+		t.Error("violation not detected in presence of constant feature")
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the FRaC anomaly detection engine and every
+// scalable variant from the paper: the normalized-surprisal (NS) criterion
+// with cross-validated error models, full and partial filtering, diverse
+// FRaC, ensembles with per-feature median combination, and JL
+// pre-projection.
+//
+// The engine is organized around *terms*. One term is one summand of the NS
+// formula: a target feature, the input features its predictor may see, and
+// (after training) the predictor, error model, and target entropy. Every
+// variant in the paper is a different way of generating the term list
+// (Fig. 1); the training/scoring machinery is shared.
+package core
+
+import (
+	"fmt"
+
+	"frac/internal/rng"
+)
+
+// Term is one summand of normalized surprisal: a predictor wiring.
+type Term struct {
+	// Target is the predicted feature's index in the working data set.
+	Target int
+	// Orig is the target's index in the *original* data set, used to align
+	// per-feature scores across ensemble members that saw different filtered
+	// subsets. Wirings over unfiltered data set Orig == Target.
+	Orig int
+	// Inputs are the feature indices (working data set) the predictor may
+	// use; Target itself must not appear.
+	Inputs []int
+}
+
+// Validate checks a term against a feature count.
+func (t Term) Validate(numFeatures int) error {
+	if t.Target < 0 || t.Target >= numFeatures {
+		return fmt.Errorf("core: term target %d out of [0,%d)", t.Target, numFeatures)
+	}
+	for _, in := range t.Inputs {
+		if in < 0 || in >= numFeatures {
+			return fmt.Errorf("core: term input %d out of [0,%d)", in, numFeatures)
+		}
+		if in == t.Target {
+			return fmt.Errorf("core: term for feature %d lists itself as input", t.Target)
+		}
+	}
+	return nil
+}
+
+// FullTerms wires ordinary FRaC: one term per feature, inputs = all other
+// features (paper §I.A.1).
+func FullTerms(numFeatures int) []Term {
+	terms := make([]Term, numFeatures)
+	for i := range terms {
+		inputs := make([]int, 0, numFeatures-1)
+		for j := 0; j < numFeatures; j++ {
+			if j != i {
+				inputs = append(inputs, j)
+			}
+		}
+		terms[i] = Term{Target: i, Orig: i, Inputs: inputs}
+	}
+	return terms
+}
+
+// FilteredTerms wires *full filtering* (paper §II.A): the working data set
+// is assumed to be the selection d.SelectFeatures(kept), so targets and
+// inputs both range over the kept features only. kept[i] gives the original
+// index of working feature i.
+func FilteredTerms(kept []int) []Term {
+	terms := FullTerms(len(kept))
+	for i := range terms {
+		terms[i].Orig = kept[i]
+	}
+	return terms
+}
+
+// PartialTerms wires *partial filtering* (paper §II.A): models are built
+// only for the kept features, but each model's inputs are ALL other
+// features of the unfiltered data set. The working data set is the original
+// one.
+func PartialTerms(kept []int, numFeatures int) []Term {
+	terms := make([]Term, len(kept))
+	for i, t := range kept {
+		inputs := make([]int, 0, numFeatures-1)
+		for j := 0; j < numFeatures; j++ {
+			if j != t {
+				inputs = append(inputs, j)
+			}
+		}
+		terms[i] = Term{Target: t, Orig: t, Inputs: inputs}
+	}
+	return terms
+}
+
+// DiverseTerms wires Diverse FRaC (paper §II.B): one term per feature (or
+// predictorsPerFeature terms, for the multi-predictor extension), where each
+// other feature is included in a term's inputs independently with
+// probability p. A term that draws no inputs at all falls back to the
+// marginal predictor, which the engine handles.
+func DiverseTerms(numFeatures int, p float64, predictorsPerFeature int, src *rng.Source) []Term {
+	if predictorsPerFeature < 1 {
+		predictorsPerFeature = 1
+	}
+	terms := make([]Term, 0, numFeatures*predictorsPerFeature)
+	for i := 0; i < numFeatures; i++ {
+		for r := 0; r < predictorsPerFeature; r++ {
+			stream := src.StreamN(fmt.Sprintf("diverse-%d", i), r)
+			inputs := make([]int, 0, int(p*float64(numFeatures))+1)
+			for j := 0; j < numFeatures; j++ {
+				if j != i && stream.Bernoulli(p) {
+					inputs = append(inputs, j)
+				}
+			}
+			terms = append(terms, Term{Target: i, Orig: i, Inputs: inputs})
+		}
+	}
+	return terms
+}
+
+// WiringMatrix renders a term list as a boolean matrix W where W[t][j]
+// reports whether term t's predictor considers feature j — the structure
+// depicted in the paper's Fig. 1. Row length is numFeatures.
+func WiringMatrix(terms []Term, numFeatures int) [][]bool {
+	w := make([][]bool, len(terms))
+	for i, t := range terms {
+		row := make([]bool, numFeatures)
+		for _, in := range t.Inputs {
+			row[in] = true
+		}
+		w[i] = row
+	}
+	return w
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"frac/internal/rng"
+)
+
+func TestFullTermsWiring(t *testing.T) {
+	terms := FullTerms(4)
+	if len(terms) != 4 {
+		t.Fatalf("%d terms", len(terms))
+	}
+	for i, term := range terms {
+		if term.Target != i || term.Orig != i {
+			t.Errorf("term %d targets %d/%d", i, term.Target, term.Orig)
+		}
+		if len(term.Inputs) != 3 {
+			t.Errorf("term %d has %d inputs", i, len(term.Inputs))
+		}
+		for _, in := range term.Inputs {
+			if in == i {
+				t.Errorf("term %d includes itself", i)
+			}
+		}
+		if err := term.Validate(4); err != nil {
+			t.Errorf("term %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestFilteredTermsCarryOrigIndices(t *testing.T) {
+	kept := []int{5, 2, 9}
+	terms := FilteredTerms(kept)
+	if len(terms) != 3 {
+		t.Fatalf("%d terms", len(terms))
+	}
+	for i, term := range terms {
+		if term.Orig != kept[i] {
+			t.Errorf("term %d Orig = %d, want %d", i, term.Orig, kept[i])
+		}
+		if term.Target != i {
+			t.Errorf("term %d Target = %d (working index)", i, term.Target)
+		}
+		if len(term.Inputs) != 2 {
+			t.Errorf("term %d inputs = %v", i, term.Inputs)
+		}
+	}
+}
+
+func TestPartialTermsUseFullInputSpace(t *testing.T) {
+	terms := PartialTerms([]int{1, 3}, 6)
+	if len(terms) != 2 {
+		t.Fatalf("%d terms", len(terms))
+	}
+	for _, term := range terms {
+		if len(term.Inputs) != 5 {
+			t.Errorf("partial term for %d sees %d inputs, want 5", term.Target, len(term.Inputs))
+		}
+	}
+}
+
+func TestDiverseTermsInclusionRate(t *testing.T) {
+	const f, p = 200, 0.3
+	terms := DiverseTerms(f, p, 1, rng.New(5))
+	if len(terms) != f {
+		t.Fatalf("%d terms", len(terms))
+	}
+	total := 0
+	for _, term := range terms {
+		total += len(term.Inputs)
+		for _, in := range term.Inputs {
+			if in == term.Target {
+				t.Fatal("diverse term includes its own target")
+			}
+		}
+	}
+	rate := float64(total) / float64(f*(f-1))
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("inclusion rate %v, want ~0.3", rate)
+	}
+}
+
+func TestDiverseTermsMultiplePredictors(t *testing.T) {
+	terms := DiverseTerms(10, 0.5, 3, rng.New(7))
+	if len(terms) != 30 {
+		t.Fatalf("%d terms, want 30", len(terms))
+	}
+	counts := map[int]int{}
+	for _, term := range terms {
+		counts[term.Target]++
+	}
+	for tgt, c := range counts {
+		if c != 3 {
+			t.Errorf("target %d has %d predictors", tgt, c)
+		}
+	}
+	// Different predictors for the same target should draw different inputs.
+	a, b := terms[0].Inputs, terms[1].Inputs
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same && len(a) > 2 {
+			t.Error("repeated predictors drew identical subsets")
+		}
+	}
+}
+
+func TestTermValidate(t *testing.T) {
+	bad := []Term{
+		{Target: -1},
+		{Target: 5},
+		{Target: 0, Inputs: []int{0}},
+		{Target: 0, Inputs: []int{9}},
+	}
+	for i, term := range bad {
+		if err := term.Validate(5); err == nil {
+			t.Errorf("bad term %d accepted", i)
+		}
+	}
+}
+
+func TestWiringMatrix(t *testing.T) {
+	terms := []Term{{Target: 0, Inputs: []int{1, 2}}, {Target: 1, Inputs: []int{3}}}
+	w := WiringMatrix(terms, 4)
+	if !w[0][1] || !w[0][2] || w[0][0] || w[0][3] {
+		t.Errorf("row 0 = %v", w[0])
+	}
+	if !w[1][3] || w[1][0] {
+		t.Errorf("row 1 = %v", w[1])
+	}
+}

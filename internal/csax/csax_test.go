@@ -1,0 +1,162 @@
+package csax
+
+import (
+	"fmt"
+	"testing"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/rng"
+	"frac/internal/synth"
+)
+
+func TestEnrichmentScoreBasics(t *testing.T) {
+	features := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	metric := map[int]float64{0: 8, 1: 7, 2: 6, 3: 5, 4: 4, 5: 3, 6: 2, 7: 1}
+	// Members at the top of the ranking: high ES.
+	top := EnrichmentScore(features, metric, []int{0, 1}, 1)
+	// Members at the bottom: low ES.
+	bottom := EnrichmentScore(features, metric, []int{6, 7}, 1)
+	if top <= bottom {
+		t.Errorf("top-ranked set ES %v <= bottom-ranked %v", top, bottom)
+	}
+	if top < 0.8 {
+		t.Errorf("top-concentrated ES = %v, want near 1", top)
+	}
+	// Degenerate cases.
+	if EnrichmentScore(nil, metric, []int{0}, 1) != 0 {
+		t.Error("empty ranking should score 0")
+	}
+	if EnrichmentScore(features, metric, nil, 1) != 0 {
+		t.Error("empty set should score 0")
+	}
+	if EnrichmentScore(features, metric, features, 1) != 0 {
+		t.Error("all-member set has no misses; should score 0")
+	}
+}
+
+func TestEnrichmentScoreBounded(t *testing.T) {
+	features := make([]int, 50)
+	metric := map[int]float64{}
+	src := rng.New(3)
+	for i := range features {
+		features[i] = i
+		metric[i] = src.Norm()
+	}
+	for trial := 0; trial < 20; trial++ {
+		members := src.SampleK(50, 5+src.IntN(20))
+		es := EnrichmentScore(features, metric, members, 1)
+		if es < 0 || es > 1 {
+			t.Fatalf("ES = %v out of [0,1]", es)
+		}
+	}
+}
+
+// characterizationFixture builds an expression problem with known disrupted
+// modules and characterizes the test set.
+func characterizationFixture(t *testing.T, bootstraps int) ([]Characterization, *dataset.Dataset, synth.ExpressionTruth) {
+	t.Helper()
+	params := synth.ExpressionParams{
+		Features: 80, Normal: 40, Anomaly: 10,
+		Modules: 8, ModuleSize: 10,
+		NoiseSD: 0.4, DisruptFrac: 0.25, DisruptShift: 1.5,
+	}
+	d, truth, err := synth.GenerateExpressionWithTruth("csax", params, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := dataset.MakeReplicates(d, 1, 2.0/3, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reps[0]
+	var sets []GeneSet
+	for m, members := range truth.ModuleGeneSets() {
+		sets = append(sets, GeneSet{Name: fmt.Sprintf("module-%d", m), Members: members})
+	}
+	chars, err := Characterize(rep.Train, rep.Test, core.FullTerms(d.NumFeatures()), sets,
+		rng.New(7), Config{FRaC: core.Config{Seed: 3}, Bootstraps: bootstraps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebind truth onto the replicate's test set via labels.
+	return chars, rep.Test, truth
+}
+
+func TestCharacterizeFindsDisruptedModules(t *testing.T) {
+	chars, test, truth := characterizationFixture(t, 3)
+	if len(chars) != test.NumSamples() {
+		t.Fatalf("%d characterizations", len(chars))
+	}
+	disrupted := map[string]bool{}
+	for m, isD := range truth.DisruptedModule {
+		if isD {
+			disrupted[fmt.Sprintf("module-%d", m)] = true
+		}
+	}
+	if len(disrupted) == 0 {
+		t.Fatal("fixture has no disrupted modules")
+	}
+	// For anomalous samples, the top-ranked set should usually be a
+	// disrupted module.
+	hits, anomalies := 0, 0
+	for i, c := range chars {
+		if !test.Anomalous[i] {
+			continue
+		}
+		anomalies++
+		if disrupted[c.Sets[0].Name] {
+			hits++
+		}
+	}
+	t.Logf("top-set is a disrupted module for %d/%d anomalies", hits, anomalies)
+	if hits*2 < anomalies {
+		t.Errorf("disrupted modules top-ranked for only %d/%d anomalies", hits, anomalies)
+	}
+	// Anomalous samples should carry higher mean NS than controls.
+	var nsA, nsC float64
+	var nA, nC int
+	for i, c := range chars {
+		if test.Anomalous[i] {
+			nsA += c.NS
+			nA++
+		} else {
+			nsC += c.NS
+			nC++
+		}
+	}
+	if nsA/float64(nA) <= nsC/float64(nC) {
+		t.Error("anomalies should have higher mean NS in characterizations")
+	}
+}
+
+func TestCharacterizeRobustnessInUnitRange(t *testing.T) {
+	chars, _, _ := characterizationFixture(t, 4)
+	for _, c := range chars {
+		for _, s := range c.Sets {
+			if s.Robustness < 0 || s.Robustness > 1+1e-9 {
+				t.Fatalf("robustness %v out of [0,1]", s.Robustness)
+			}
+		}
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	d, _, err := synth.GenerateExpressionWithTruth("v", synth.ExpressionParams{
+		Features: 20, Normal: 10, Anomaly: 2, Modules: 2, ModuleSize: 5, DisruptFrac: 0.5,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := core.FullTerms(20)
+	if _, err := Characterize(d, d, terms, nil, rng.New(2), Config{}); err == nil {
+		t.Error("no gene sets accepted")
+	}
+	bad := []GeneSet{{Name: "x", Members: []int{99}}}
+	if _, err := Characterize(d, d, terms, bad, rng.New(2), Config{}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := Characterize(d, d, terms, []GeneSet{{Name: "", Members: []int{1}}}, rng.New(2), Config{}); err == nil {
+		t.Error("unnamed set accepted")
+	}
+}

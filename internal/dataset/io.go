@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The TSV interchange format:
+//
+//	# name: <dataset name>            (optional comment lines)
+//	label<TAB>f1:real<TAB>f2:cat3...  (header: "label" column optional)
+//	0<TAB>1.25<TAB>2
+//	1<TAB>-0.5<TAB>?                  ("?" marks a missing value)
+//
+// Column type suffixes: ":real" for continuous, ":catK" for a categorical
+// feature of arity K. The label column holds 0 (normal) / 1 (anomalous).
+
+// WriteTSV serializes d to w.
+func WriteTSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if d.Name != "" {
+		fmt.Fprintf(bw, "# name: %s\n", d.Name)
+	}
+	cols := make([]string, 0, len(d.Schema)+1)
+	if d.Anomalous != nil {
+		cols = append(cols, "label")
+	}
+	for _, f := range d.Schema {
+		if f.Kind == Categorical {
+			cols = append(cols, fmt.Sprintf("%s:cat%d", f.Name, f.Arity))
+		} else {
+			cols = append(cols, f.Name+":real")
+		}
+	}
+	fmt.Fprintln(bw, strings.Join(cols, "\t"))
+	for i := 0; i < d.NumSamples(); i++ {
+		row := d.Sample(i)
+		fields := make([]string, 0, len(row)+1)
+		if d.Anomalous != nil {
+			if d.Anomalous[i] {
+				fields = append(fields, "1")
+			} else {
+				fields = append(fields, "0")
+			}
+		}
+		for j, v := range row {
+			switch {
+			case IsMissing(v):
+				fields = append(fields, "?")
+			case d.Schema[j].Kind == Categorical:
+				fields = append(fields, strconv.Itoa(int(v)))
+			default:
+				fields = append(fields, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		fmt.Fprintln(bw, strings.Join(fields, "\t"))
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes d to a file path.
+func WriteFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTSV parses the TSV interchange format.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	name := ""
+	var header []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# name:"); ok {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		header = strings.Split(line, "\t")
+		break
+	}
+	if header == nil {
+		return nil, fmt.Errorf("dataset: empty TSV input")
+	}
+	hasLabel := header[0] == "label"
+	featCols := header
+	if hasLabel {
+		featCols = header[1:]
+	}
+	schema := make(Schema, len(featCols))
+	for i, col := range featCols {
+		fname, typ, ok := strings.Cut(col, ":")
+		if !ok {
+			return nil, fmt.Errorf("dataset: header column %q lacks a :type suffix", col)
+		}
+		switch {
+		case typ == "real":
+			schema[i] = Feature{Name: fname, Kind: Real}
+		case strings.HasPrefix(typ, "cat"):
+			k, err := strconv.Atoi(typ[3:])
+			if err != nil || k < 2 {
+				return nil, fmt.Errorf("dataset: bad categorical arity in column %q", col)
+			}
+			schema[i] = Feature{Name: fname, Kind: Categorical, Arity: k}
+		default:
+			return nil, fmt.Errorf("dataset: unknown type %q in column %q", typ, col)
+		}
+	}
+	var rows [][]float64
+	var labels []bool
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		want := len(schema)
+		if hasLabel {
+			want++
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(fields), want)
+		}
+		if hasLabel {
+			switch fields[0] {
+			case "0":
+				labels = append(labels, false)
+			case "1":
+				labels = append(labels, true)
+			default:
+				return nil, fmt.Errorf("dataset: line %d has label %q, want 0 or 1", lineNo, fields[0])
+			}
+			fields = fields[1:]
+		}
+		row := make([]float64, len(schema))
+		for j, fv := range fields {
+			if fv == "?" {
+				row[j] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(fv, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %d: %v", lineNo, j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d := New(name, schema, len(rows))
+	for i, row := range rows {
+		copy(d.Sample(i), row)
+	}
+	if hasLabel {
+		d.Anomalous = labels
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadFile parses a TSV data set from a file path.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}

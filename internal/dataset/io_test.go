@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := New("roundtrip", mixedSchema(), 3)
+	copy(d.Sample(0), []float64{1.25, 2, -3})
+	copy(d.Sample(1), []float64{Missing, 0, 6})
+	copy(d.Sample(2), []float64{7, Missing, 0.001})
+	d.Anomalous = []bool{false, true, false}
+
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if got.NumSamples() != 3 || got.NumFeatures() != 3 {
+		t.Fatalf("dims %dx%d", got.NumSamples(), got.NumFeatures())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a, b := d.X.At(i, j), got.X.At(i, j)
+			if IsMissing(a) != IsMissing(b) {
+				t.Fatalf("missing mismatch at %d,%d", i, j)
+			}
+			if !IsMissing(a) && a != b {
+				t.Fatalf("value mismatch at %d,%d: %v vs %v", i, j, a, b)
+			}
+		}
+		if d.Anomalous[i] != got.Anomalous[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+	if got.Schema[1].Kind != Categorical || got.Schema[1].Arity != 3 {
+		t.Errorf("schema round trip: %+v", got.Schema[1])
+	}
+}
+
+func TestTSVUnlabeled(t *testing.T) {
+	d := New("", Schema{{Name: "x", Kind: Real}}, 1)
+	d.Sample(0)[0] = 5
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "label") {
+		t.Error("unlabeled data set wrote a label column")
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anomalous != nil {
+		t.Error("unlabeled data set read back labels")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no type suffix": "a\n1\n",
+		"bad arity":      "a:cat1\n0\n",
+		"bad label":      "label\ta:real\n2\t1\n",
+		"field count":    "a:real\tb:real\n1\n",
+		"bad float":      "a:real\nxyz\n",
+		"out of range":   "a:cat2\n7\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# name: x\n\na:real\n# comment\n1.5\n\n2.5\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 2 || d.X.At(1, 0) != 2.5 {
+		t.Errorf("parsed %d samples", d.NumSamples())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := New("file", Schema{{Name: "x", Kind: Real}}, 1)
+	d.Sample(0)[0] = math.Pi
+	path := filepath.Join(t.TempDir(), "d.tsv")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.At(0, 0) != math.Pi {
+		t.Errorf("value = %v", got.X.At(0, 0))
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}

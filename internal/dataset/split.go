@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+
+	"frac/internal/rng"
+)
+
+// Replicate is one train/test split as constructed in the paper (§III.A):
+// the training set is a random two-thirds of the normal samples; the test
+// set is the remaining normals plus every anomalous sample.
+type Replicate struct {
+	Index int
+	Train *Dataset // normals only, Anomalous == nil
+	Test  *Dataset // mixed, Anomalous set
+}
+
+// MakeReplicates builds n replicates from a labeled data set. trainFrac is
+// the fraction of normal samples assigned to training (the paper uses 2/3).
+// Each replicate draws an independent split from src.StreamN("replicate", i).
+func MakeReplicates(d *Dataset, n int, trainFrac float64, src *rng.Source) ([]Replicate, error) {
+	if d.Anomalous == nil {
+		return nil, fmt.Errorf("dataset %q: replicates need anomaly labels", d.Name)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, fmt.Errorf("dataset %q: trainFrac %v out of (0,1)", d.Name, trainFrac)
+	}
+	var normals, anomalies []int
+	for i, a := range d.Anomalous {
+		if a {
+			anomalies = append(anomalies, i)
+		} else {
+			normals = append(normals, i)
+		}
+	}
+	nTrain := int(trainFrac * float64(len(normals)))
+	if nTrain < 2 || nTrain >= len(normals) {
+		return nil, fmt.Errorf("dataset %q: %d normals cannot support trainFrac %v", d.Name, len(normals), trainFrac)
+	}
+	if len(anomalies) == 0 {
+		return nil, fmt.Errorf("dataset %q: no anomalous samples", d.Name)
+	}
+	reps := make([]Replicate, n)
+	for r := 0; r < n; r++ {
+		stream := src.StreamN("replicate", r)
+		perm := stream.Perm(len(normals))
+		trainRows := make([]int, nTrain)
+		for i := 0; i < nTrain; i++ {
+			trainRows[i] = normals[perm[i]]
+		}
+		testRows := make([]int, 0, len(normals)-nTrain+len(anomalies))
+		for i := nTrain; i < len(normals); i++ {
+			testRows = append(testRows, normals[perm[i]])
+		}
+		testRows = append(testRows, anomalies...)
+		train := d.SelectSamples(trainRows)
+		train.Anomalous = nil // training sets are all-normal by construction
+		test := d.SelectSamples(testRows)
+		reps[r] = Replicate{Index: r, Train: train, Test: test}
+	}
+	return reps, nil
+}
+
+// FixedSplit builds a single replicate from separately supplied train and
+// test sets — the schizophrenia construction, where training normals and
+// test samples come from different sources.
+func FixedSplit(train, test *Dataset) (Replicate, error) {
+	if train.NumFeatures() != test.NumFeatures() {
+		return Replicate{}, fmt.Errorf("FixedSplit: train has %d features, test has %d", train.NumFeatures(), test.NumFeatures())
+	}
+	if test.Anomalous == nil {
+		return Replicate{}, fmt.Errorf("FixedSplit: test set must be labeled")
+	}
+	tr := train
+	if tr.Anomalous != nil {
+		// Keep only normal training samples.
+		var rows []int
+		for i, a := range tr.Anomalous {
+			if !a {
+				rows = append(rows, i)
+			}
+		}
+		tr = tr.SelectSamples(rows)
+		tr.Anomalous = nil
+	}
+	return Replicate{Train: tr, Test: test}, nil
+}
+
+// KFold partitions [0, n) into k folds of near-equal size after a random
+// shuffle; fold f is folds[f]. Used by FRaC's error-model cross-validation.
+func KFold(n, k int, src *rng.Source) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := src.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		f := i % k
+		folds[f] = append(folds[f], idx)
+	}
+	return folds
+}

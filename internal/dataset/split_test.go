@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"testing"
+
+	"frac/internal/rng"
+)
+
+func labeledDataset(n, anomalies int) *Dataset {
+	d := New("t", Schema{{Name: "x", Kind: Real}}, n)
+	d.Anomalous = make([]bool, n)
+	for i := 0; i < n; i++ {
+		d.Sample(i)[0] = float64(i) // value encodes original row index
+		d.Anomalous[i] = i < anomalies
+	}
+	return d
+}
+
+func TestMakeReplicatesSemantics(t *testing.T) {
+	d := labeledDataset(30, 10) // 20 normals, 10 anomalies
+	reps, err := MakeReplicates(d, 3, 2.0/3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("%d replicates", len(reps))
+	}
+	for _, rep := range reps {
+		if rep.Train.NumSamples() != 13 { // 2/3 of 20
+			t.Errorf("train size %d, want 13", rep.Train.NumSamples())
+		}
+		if rep.Train.Anomalous != nil {
+			t.Error("training set must be unlabeled (all normal)")
+		}
+		if rep.Test.NumSamples() != 17 { // 7 normals + 10 anomalies
+			t.Errorf("test size %d, want 17", rep.Test.NumSamples())
+		}
+		nAnom := 0
+		for _, a := range rep.Test.Anomalous {
+			if a {
+				nAnom++
+			}
+		}
+		if nAnom != 10 {
+			t.Errorf("test anomalies %d, want all 10", nAnom)
+		}
+		// No overlap between train and test rows (values encode rows).
+		seen := map[float64]bool{}
+		for i := 0; i < rep.Train.NumSamples(); i++ {
+			seen[rep.Train.Sample(i)[0]] = true
+		}
+		for i := 0; i < rep.Test.NumSamples(); i++ {
+			if seen[rep.Test.Sample(i)[0]] {
+				t.Fatal("train/test overlap")
+			}
+		}
+	}
+	// Different replicates should differ.
+	if reps[0].Train.Sample(0)[0] == reps[1].Train.Sample(0)[0] &&
+		reps[0].Train.Sample(1)[0] == reps[1].Train.Sample(1)[0] &&
+		reps[0].Train.Sample(2)[0] == reps[1].Train.Sample(2)[0] {
+		t.Log("warning: replicates may coincide (unlikely)")
+	}
+}
+
+func TestMakeReplicatesErrors(t *testing.T) {
+	unlabeled := New("t", Schema{{Name: "x", Kind: Real}}, 10)
+	if _, err := MakeReplicates(unlabeled, 1, 0.5, rng.New(1)); err == nil {
+		t.Error("unlabeled data accepted")
+	}
+	d := labeledDataset(30, 30) // no normals
+	if _, err := MakeReplicates(d, 1, 0.5, rng.New(1)); err == nil {
+		t.Error("all-anomalous data accepted")
+	}
+	d2 := labeledDataset(30, 0) // no anomalies
+	if _, err := MakeReplicates(d2, 1, 0.5, rng.New(1)); err == nil {
+		t.Error("no-anomaly data accepted")
+	}
+}
+
+func TestFixedSplit(t *testing.T) {
+	train := labeledDataset(20, 5)
+	test := labeledDataset(10, 4)
+	rep, err := FixedSplit(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Train.NumSamples() != 15 {
+		t.Errorf("FixedSplit train kept %d, want 15 normals", rep.Train.NumSamples())
+	}
+	if rep.Train.Anomalous != nil {
+		t.Error("FixedSplit train must be unlabeled")
+	}
+	unlabeledTest := New("t", Schema{{Name: "x", Kind: Real}}, 3)
+	if _, err := FixedSplit(train, unlabeledTest); err == nil {
+		t.Error("unlabeled test set accepted")
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	folds := KFold(10, 3, rng.New(5))
+	if len(folds) != 3 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, idx := range f {
+			if seen[idx] {
+				t.Fatal("index in two folds")
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("folds cover %d indices", len(seen))
+	}
+	// k > n clamps.
+	folds = KFold(3, 10, rng.New(5))
+	if len(folds) != 3 {
+		t.Errorf("k>n gave %d folds", len(folds))
+	}
+}

@@ -1,0 +1,230 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frac/internal/synth"
+)
+
+// coarse returns options small/fast enough for unit tests: tiny feature
+// scale, few replicates.
+func coarse() Options {
+	return Options{
+		Scale:      256,
+		Replicates: 2,
+		Seed:       1,
+		JLRepeats:  2,
+	}.WithDefaults()
+}
+
+func TestTable1Inventory(t *testing.T) {
+	var buf bytes.Buffer
+	o := coarse()
+	o.Out = &buf
+	rows := Table1(o)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Dataset] = r
+	}
+	bb := byName["breast.basal"]
+	if bb.PaperFeatures != 3167 || bb.Normal != 56 || bb.Anomaly != 19 {
+		t.Errorf("breast.basal row = %+v", bb)
+	}
+	if bb.Features != 3167/256 {
+		t.Errorf("scaled features = %d", bb.Features)
+	}
+	if byName["autism"].Kind != "SNP" {
+		t.Error("autism should be an SNP set")
+	}
+	if !strings.Contains(buf.String(), "breast.basal") {
+		t.Error("table output missing rows")
+	}
+}
+
+func TestTable2ProducesAllRowsAndExtrapolation(t *testing.T) {
+	o := coarse()
+	rows, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8 (incl. extrapolated schizophrenia)", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Dataset != "schizophrenia" || !last.Extrapolated {
+		t.Errorf("last row = %+v, want extrapolated schizophrenia", last)
+	}
+	if last.Cost.CPU <= 0 || last.Cost.PeakBytes <= 0 {
+		t.Error("extrapolated cost empty")
+	}
+	var autism Table2Row
+	for _, r := range rows {
+		if r.Dataset == "autism" {
+			autism = r
+		}
+	}
+	// Extrapolation must scale the autism cost up (more features, more
+	// training samples).
+	if last.Cost.CPU <= autism.Cost.CPU {
+		t.Error("schizophrenia extrapolation should exceed autism cost")
+	}
+	for _, r := range rows[:len(rows)-1] {
+		if r.AUC < 0.2 || r.AUC > 1 {
+			t.Errorf("%s AUC = %v out of range", r.Dataset, r.AUC)
+		}
+		if len(r.PerReplicate) != o.Replicates {
+			t.Errorf("%s has %d per-replicate outcomes", r.Dataset, len(r.PerReplicate))
+		}
+		if r.Cost.CPU <= 0 {
+			t.Errorf("%s no CPU cost", r.Dataset)
+		}
+	}
+}
+
+func TestVariantFractionsAgainstFull(t *testing.T) {
+	o := coarse()
+	full, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullByName := map[string]Table2Row{}
+	for _, r := range full {
+		fullByName[r.Dataset] = r
+	}
+	p := mustProfile(t, "breast.basal")
+	rows, err := RunVariants(p, fullByName["breast.basal"],
+		[]VariantSpec{SingleRandomFilterSpec()}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.TimeFrac <= 0 || r.TimeFrac >= 1 {
+		t.Errorf("filtered time fraction = %v, want in (0,1)", r.TimeFrac)
+	}
+	if r.MemFrac <= 0 || r.MemFrac >= 1 {
+		t.Errorf("filtered mem fraction = %v, want in (0,1)", r.MemFrac)
+	}
+	if r.AUCFrac <= 0 {
+		t.Errorf("AUC fraction = %v", r.AUCFrac)
+	}
+}
+
+func TestFig1WiringShapes(t *testing.T) {
+	var buf bytes.Buffer
+	o := coarse()
+	o.Out = &buf
+	w := Fig1(o)
+	full := w["full"]
+	if len(full) != 8 {
+		t.Fatalf("full wiring has %d rows", len(full))
+	}
+	for i, row := range full {
+		on := 0
+		for j, b := range row {
+			if b {
+				on++
+			}
+			if j == i && b {
+				t.Errorf("full wiring row %d considers itself", i)
+			}
+		}
+		if on != 7 {
+			t.Errorf("full row %d considers %d features", i, on)
+		}
+	}
+	if len(w["full-filter"]) != 4 {
+		t.Errorf("full-filter built %d predictors, want 4 (half kept)", len(w["full-filter"]))
+	}
+	if len(w["partial-filter"]) != 4 {
+		t.Errorf("partial-filter built %d predictors", len(w["partial-filter"]))
+	}
+	for i, row := range w["partial-filter"] {
+		on := 0
+		for _, b := range row {
+			if b {
+				on++
+			}
+		}
+		if on != 7 {
+			t.Errorf("partial row %d considers %d features, want 7 (all others)", i, on)
+		}
+	}
+	if !strings.Contains(buf.String(), "diverse") {
+		t.Error("fig1 output missing variants")
+	}
+}
+
+func TestFig2PaperExample(t *testing.T) {
+	o := coarse()
+	res, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OneHot) != 11 {
+		t.Errorf("1-hot width = %d, want 11 (paper Fig. 2)", len(res.OneHot))
+	}
+	if len(res.Projected) != 4 {
+		t.Errorf("projected dim = %d, want 4", len(res.Projected))
+	}
+	want := []float64{3.4, 0, -2, 0.6, 0, 1, 0, 0, 0, 1, 0}
+	for i, v := range want {
+		if res.OneHot[i] != v {
+			t.Fatalf("one-hot = %v", res.OneHot)
+		}
+	}
+}
+
+func TestScaledJLDim(t *testing.T) {
+	o := Options{Scale: 16}.WithDefaults()
+	if d := o.ScaledJLDim(1024); d != 64 {
+		t.Errorf("ScaledJLDim(1024) = %d, want 64", d)
+	}
+	if d := o.ScaledJLDim(64); d != 8 {
+		t.Errorf("floor: %d, want 8", d)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.FilterP != 0.05 || o.EnsembleMembers != 10 || o.DiverseP != 0.5 {
+		t.Errorf("paper defaults wrong: %+v", o)
+	}
+	if o.DiverseEnsembleP != 1.0/20 || o.JLDim != 1024 || o.JLRepeats != 10 {
+		t.Errorf("paper defaults wrong: %+v", o)
+	}
+}
+
+func mustProfile(t *testing.T, name string) synth.Profile {
+	t.Helper()
+	prof, err := synth.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestInterpretationEnrichment(t *testing.T) {
+	o := coarse()
+	o.FilterP = 0.25 // keep enough sites at the tiny test scale
+	res, err := Interpretation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 1 {
+		t.Errorf("no ground-truth drifted sites in top-%d influential features", res.TopK)
+	}
+	if res.PValue <= 0 || res.PValue > 1 {
+		t.Errorf("p = %v", res.PValue)
+	}
+	if res.AUC <= 0.5 {
+		t.Errorf("interpretation run AUC = %v", res.AUC)
+	}
+}

@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/resource"
+	"frac/internal/rng"
+	"frac/internal/stats"
+	"frac/internal/synth"
+)
+
+// Table1Row is one line of Table I: data-set inventory.
+type Table1Row struct {
+	Dataset                   string
+	Features, Normal, Anomaly int
+	PaperFeatures             int
+	Kind                      string // "expression" / "SNP"
+}
+
+// Table1 reports the compendium inventory at the harness scale.
+func Table1(o Options) []Table1Row {
+	o = o.WithDefaults()
+	var rows []Table1Row
+	for _, p := range synth.Compendium() {
+		kind := "expression"
+		if p.SNP {
+			kind = "SNP"
+		}
+		rows = append(rows, Table1Row{
+			Dataset:       p.Name,
+			Features:      p.ScaledFeatures(o.Scale),
+			Normal:        p.PaperNormal,
+			Anomaly:       p.PaperAnomaly,
+			PaperFeatures: p.PaperFeatures,
+			Kind:          kind,
+		})
+	}
+	w := o.out()
+	fprintf(w, "Table I — data sets (features scaled 1:%d; paper feature counts in parens)\n", o.Scale)
+	fprintf(w, "%-15s %10s %18s %8s %8s\n", "data set", "kind", "features", "normal", "anomaly")
+	for _, r := range rows {
+		fprintf(w, "%-15s %10s %8d (%6d) %8d %8d\n", r.Dataset, r.Kind, r.Features, r.PaperFeatures, r.Normal, r.Anomaly)
+	}
+	return rows
+}
+
+// Table2Row is one line of Table II: full-FRaC reference runs.
+type Table2Row struct {
+	Dataset      string
+	AUC, AUCSD   float64
+	Cost         resource.Cost
+	PaperAUC     float64
+	PaperAUCSD   float64
+	Extrapolated bool
+	// PerReplicate keeps the raw AUC/cost pairs for fraction computation.
+	PerReplicate []ReplicateOutcome
+}
+
+// ReplicateOutcome is one replicate's full-run result.
+type ReplicateOutcome struct {
+	AUC  float64
+	Cost resource.Cost
+}
+
+// Table2 runs full FRaC on every non-confounded profile (5 replicates) and
+// extrapolates the schizophrenia row from the autism row, exactly as the
+// paper does ("time and memory performance for this data set were estimated
+// by extrapolation from the performance on the autism data").
+func Table2(o Options) ([]Table2Row, error) {
+	o = o.WithDefaults()
+	var rows []Table2Row
+	var autismRow *Table2Row
+	for _, p := range synth.Compendium() {
+		if p.Confounded {
+			continue
+		}
+		row, err := fullRunRow(p, o)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+		}
+		rows = append(rows, row)
+		if p.Name == "autism" {
+			autismRow = &rows[len(rows)-1]
+		}
+	}
+	// Extrapolated schizophrenia row: CPU time scales with the per-model
+	// work f * (models trained) ~ f^2 times the sample count; the retained
+	// model store scales with f^2 (tree node counts are sample-bounded, so
+	// memory scales with model count f times per-model size).
+	schiz, err := synth.ProfileByName("schizophrenia")
+	if err != nil {
+		return nil, err
+	}
+	if autismRow == nil {
+		return nil, fmt.Errorf("table2: autism row missing for extrapolation")
+	}
+	autism, _ := synth.ProfileByName("autism")
+	fRatio := float64(schiz.ScaledFeatures(o.Scale)) / float64(autism.ScaledFeatures(o.Scale))
+	// Training-set size ratio: autism trains on 2/3 of its normals;
+	// schizophrenia trains on its fixed HapMap-style split.
+	nRatio := float64(schiz.PaperNormal-schiz.TestNormals) / (float64(autism.PaperNormal) * 2.0 / 3)
+	ext := Table2Row{
+		Dataset:      "schizophrenia",
+		AUC:          -1,
+		Cost:         extrapolateCost(autismRow.Cost, fRatio, nRatio),
+		PaperAUC:     -1,
+		Extrapolated: true,
+	}
+	rows = append(rows, ext)
+	printTable2(o, rows)
+	return rows, nil
+}
+
+// extrapolateCost scales a measured cost to a larger problem: CPU
+// quadratically in features and linearly in training samples; memory
+// quadratically in features.
+func extrapolateCost(base resource.Cost, fRatio, nRatio float64) resource.Cost {
+	return resource.Cost{
+		Wall:      scaleDur(base.Wall, fRatio*fRatio*nRatio),
+		CPU:       scaleDur(base.CPU, fRatio*fRatio*nRatio),
+		PeakBytes: int64(float64(base.PeakBytes) * fRatio * fRatio),
+	}
+}
+
+func scaleDur(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}
+
+func fullRunRow(p synth.Profile, o Options) (Table2Row, error) {
+	reps, err := replicatesFor(p, o)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	row := Table2Row{Dataset: p.Name, PaperAUC: p.PaperAUC, PaperAUCSD: p.PaperAUCSD}
+	var aucAgg stats.Welford
+	var costs []resource.Cost
+	for _, rep := range reps {
+		auc, cost, err := runScored(p, o, rep, fullTermsRun(rep))
+		if err != nil {
+			return Table2Row{}, err
+		}
+		aucAgg.Add(auc)
+		costs = append(costs, cost)
+		row.PerReplicate = append(row.PerReplicate, ReplicateOutcome{AUC: auc, Cost: cost})
+	}
+	row.AUC = aucAgg.Mean()
+	row.AUCSD = aucAgg.StdDev()
+	row.Cost = meanCost(costs)
+	return row, nil
+}
+
+func printTable2(o Options, rows []Table2Row) {
+	w := o.out()
+	fprintf(w, "\nTable II — full FRaC runs (paper AUC in parens; schizophrenia extrapolated)\n")
+	fprintf(w, "%-15s %14s %12s %12s %12s\n", "data set", "AUC (sd)", "paper AUC", "CPU", "Mem")
+	for _, r := range rows {
+		aucStr, paperStr := "N/A", "N/A"
+		if r.AUC >= 0 {
+			aucStr = fmt.Sprintf("%.2f (%.2f)", r.AUC, r.AUCSD)
+		}
+		if r.PaperAUC >= 0 {
+			paperStr = fmt.Sprintf("%.2f (%.2f)", r.PaperAUC, r.PaperAUCSD)
+		}
+		mark := ""
+		if r.Extrapolated {
+			mark = "*"
+		}
+		fprintf(w, "%-15s %14s %12s %12v %12s%s\n", r.Dataset, aucStr, paperStr,
+			r.Cost.CPU.Round(time.Millisecond), resource.FormatBytes(r.Cost.PeakBytes), mark)
+	}
+}
+
+// VariantRow is one (data set, variant) cell group of Tables III/IV: AUC,
+// time, and memory as fractions of the full run.
+type VariantRow struct {
+	Dataset, Variant   string
+	AUCFrac, AUCFracSD float64
+	TimeFrac, MemFrac  float64
+	RawAUC, RawAUCSD   float64
+}
+
+// VariantSpec names a scalable-FRaC variant and how to run it on one
+// replicate. The seed source is independent per (variant, replicate).
+type VariantSpec struct {
+	Name string
+	Run  func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error)
+}
+
+// RunVariants executes the given variants over a profile's replicates,
+// reporting fractions against the profile's full-run outcomes from Table II.
+func RunVariants(p synth.Profile, full Table2Row, specs []VariantSpec, o Options) ([]VariantRow, error) {
+	o = o.WithDefaults()
+	reps, err := replicatesFor(p, o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []VariantRow
+	for _, spec := range specs {
+		var fracAgg, rawAgg stats.Welford
+		var timeFracs, memFracs []float64
+		for ri, rep := range reps {
+			src := rng.New(o.Seed).Stream(fmt.Sprintf("%s-%s-r%d", p.Name, spec.Name, ri))
+			auc, cost, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
+				return spec.Run(rep, src, cfg, o)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s replicate %d: %w", spec.Name, p.Name, ri, err)
+			}
+			rawAgg.Add(auc)
+			baseline := full.Cost
+			baseAUC := full.AUC
+			if ri < len(full.PerReplicate) {
+				baseline = full.PerReplicate[ri].Cost
+				baseAUC = full.PerReplicate[ri].AUC
+			}
+			if baseAUC > 0 {
+				fracAgg.Add(auc / baseAUC)
+			}
+			tf, mf := cost.Frac(baseline)
+			timeFracs = append(timeFracs, tf)
+			memFracs = append(memFracs, mf)
+		}
+		rows = append(rows, VariantRow{
+			Dataset: p.Name, Variant: spec.Name,
+			AUCFrac: fracAgg.Mean(), AUCFracSD: fracAgg.StdDev(),
+			RawAUC: rawAgg.Mean(), RawAUCSD: rawAgg.StdDev(),
+			TimeFrac: stats.Mean(timeFracs), MemFrac: stats.Mean(memFracs),
+		})
+	}
+	return rows, nil
+}

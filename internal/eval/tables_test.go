@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"testing"
+)
+
+// Full pipeline tests at the coarse scale: Tables III–V and Fig. 3 run end
+// to end and produce structurally correct output.
+
+func coarseFull(t *testing.T) []Table2Row {
+	t.Helper()
+	rows, err := Table2(coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTable3EndToEnd(t *testing.T) {
+	full := coarseFull(t)
+	rows, err := Table3(full, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 replicated data sets x 3 variants.
+	if len(rows) != 21 {
+		t.Fatalf("%d rows, want 21", len(rows))
+	}
+	perVariant := map[string]int{}
+	for _, r := range rows {
+		perVariant[r.Variant]++
+		if r.TimeFrac <= 0 {
+			t.Errorf("%s/%s zero time fraction", r.Dataset, r.Variant)
+		}
+		if r.MemFrac <= 0 {
+			t.Errorf("%s/%s zero mem fraction", r.Dataset, r.Variant)
+		}
+		if r.AUCFrac <= 0 {
+			t.Errorf("%s/%s AUC fraction %v", r.Dataset, r.Variant, r.AUCFrac)
+		}
+	}
+	for _, v := range []string{VariantRandomEnsemble, VariantJL, VariantEntropyFilter} {
+		if perVariant[v] != 7 {
+			t.Errorf("variant %s has %d rows", v, perVariant[v])
+		}
+	}
+}
+
+func TestTable4EndToEnd(t *testing.T) {
+	full := coarseFull(t)
+	rows, err := Table4(full, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(rows))
+	}
+	// Diverse at p=1/2 should cost roughly half the memory of the full run
+	// on the larger data sets (the paper's ~0.5 column). Allow a broad band
+	// at the tiny test scale.
+	for _, r := range rows {
+		if r.Variant != VariantDiverse {
+			continue
+		}
+		if r.MemFrac < 0.2 || r.MemFrac > 1.2 {
+			t.Errorf("%s diverse mem fraction %v far from ~0.5", r.Dataset, r.MemFrac)
+		}
+	}
+}
+
+func TestTable5EndToEnd(t *testing.T) {
+	full := coarseFull(t)
+	rows, err := Table5(full, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5 (entropy, random, 3x JL)", len(rows))
+	}
+	if rows[0].Method != "Entropy Filtering" {
+		t.Errorf("first row %q", rows[0].Method)
+	}
+	// The headline finding survives even at the tiny test scale (where only
+	// a single drifted LD block exists): entropy filtering finds the
+	// ancestry confound. At the reporting scale it reaches ~1.0
+	// (EXPERIMENTS.md).
+	if rows[0].AUC < 0.75 {
+		t.Errorf("entropy filtering AUC = %v, want clearly above chance (ancestry confound)", rows[0].AUC)
+	}
+	// And beats the JL rows, as in the paper.
+	for _, r := range rows[2:] {
+		if r.AUC >= rows[0].AUC+0.01 {
+			t.Errorf("JL row %q AUC %v >= entropy %v", r.Method, r.AUC, rows[0].AUC)
+		}
+	}
+	// Table 5 must error without the extrapolated baseline.
+	if _, err := Table5(nil, coarse()); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestFig3EndToEnd(t *testing.T) {
+	pts, err := Fig3(coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Dim < pts[i-1].Dim {
+			t.Error("dims not increasing")
+		}
+	}
+	for _, pt := range pts {
+		if pt.AUC < 0.2 || pt.AUC > 1 {
+			t.Errorf("dim %d AUC %v", pt.Dim, pt.AUC)
+		}
+	}
+}
+
+func TestAblationsEndToEnd(t *testing.T) {
+	full := coarseFull(t)
+	rows, err := Ablations(full, coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := map[string]int{}
+	for _, r := range rows {
+		studies[r.Study]++
+	}
+	want := map[string]int{
+		"filtering-mode": 2, "jl-family": 3, "ensemble-combiner": 2,
+		"error-model": 2, "jl-learner": 2,
+	}
+	for s, n := range want {
+		if studies[s] != n {
+			t.Errorf("study %s has %d configs, want %d", s, studies[s], n)
+		}
+	}
+}
+
+func TestBaselinesEndToEnd(t *testing.T) {
+	rows, err := Baselines(coarse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 6 expression sets x 3 methods
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		if r.AUC < 0.2 || r.AUC > 1 {
+			t.Errorf("%s/%s AUC %v", r.Dataset, r.Method, r.AUC)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package jl implements Johnson–Lindenstrauss random projections (paper
+// §I.B.2) together with both dimension bounds the paper quotes.
+//
+// A Transform is a k x d random matrix R scaled by 1/sqrt(k); applying it to
+// a d-vector produces a k-vector whose pairwise squared distances are
+// (1±ε)-preserved with the guarantees of the JL lemma. Three entry
+// distributions are provided: Gaussian, Rademacher ±1 (the Uniform(-1,1)
+// family the paper mentions, in its variance-1 binary-coin form), and the
+// sparse Achlioptas distribution (ref 11) whose 2/3 zeros make application
+// ~3x cheaper.
+package jl
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/linalg"
+	"frac/internal/parallel"
+	"frac/internal/rng"
+)
+
+// Family selects the distribution of the projection matrix entries.
+type Family uint8
+
+const (
+	// Gaussian entries N(0, 1).
+	Gaussian Family = iota
+	// Rademacher entries ±1 with equal probability (Achlioptas' dense
+	// binary-coin construction).
+	Rademacher
+	// Achlioptas sparse entries {±√3 w.p. 1/6 each, 0 w.p. 2/3}.
+	Achlioptas
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case Gaussian:
+		return "gaussian"
+	case Rademacher:
+		return "rademacher"
+	case Achlioptas:
+		return "achlioptas"
+	default:
+		return fmt.Sprintf("Family(%d)", uint8(f))
+	}
+}
+
+// Transform is a fitted JL projection from d dims down to k dims.
+type Transform struct {
+	K, D   int
+	Family Family
+	// R is the k x d projection matrix, already scaled by 1/sqrt(k).
+	R *linalg.Matrix
+}
+
+// New draws a k x d projection of the given family from src.
+func New(k, d int, family Family, src *rng.Source) *Transform {
+	if k <= 0 || d <= 0 {
+		panic(fmt.Sprintf("jl: New(%d, %d) needs positive dims", k, d))
+	}
+	r := linalg.NewMatrix(k, d)
+	scale := 1 / math.Sqrt(float64(k))
+	draw := func() float64 { return src.Norm() }
+	switch family {
+	case Rademacher:
+		draw = src.Rademacher
+	case Achlioptas:
+		draw = src.Achlioptas
+	}
+	for i := range r.Data {
+		r.Data[i] = draw() * scale
+	}
+	return &Transform{K: k, D: d, Family: family, R: r}
+}
+
+// Apply projects a d-vector to k dims, writing into dst (allocated when nil
+// or short).
+func (t *Transform) Apply(x, dst []float64) []float64 {
+	return t.R.MulVec(x, dst)
+}
+
+// ApplyMatrix projects every row of X (n x d) producing an n x k matrix,
+// parallelized across samples.
+func (t *Transform) ApplyMatrix(x *linalg.Matrix) *linalg.Matrix {
+	if x.Cols != t.D {
+		panic(fmt.Sprintf("jl: ApplyMatrix input has %d cols, transform expects %d", x.Cols, t.D))
+	}
+	out := linalg.NewMatrix(x.Rows, t.K)
+	parallel.For(x.Rows, func(i int) {
+		t.Apply(x.Row(i), out.Row(i))
+	})
+	return out
+}
+
+// Bytes reports the projection matrix footprint.
+func (t *Transform) Bytes() int64 { return t.R.Bytes() }
+
+// MinDimForPoints returns the smallest k satisfying the deterministic JL
+// bound the paper states: k >= 4 ln(n) / (ε²/2 - ε³/3), guaranteeing every
+// pairwise squared distance among n points distorts by at most 1±ε.
+func MinDimForPoints(n int, eps float64) int {
+	if n < 2 || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("jl: MinDimForPoints(%d, %v) out of domain", n, eps))
+	}
+	denom := eps*eps/2 - eps*eps*eps/3
+	return int(math.Ceil(4 * math.Log(float64(n)) / denom))
+}
+
+// MinDimDistributional returns the smallest k satisfying the distributional
+// bound the paper states: k >= ln(2/δ) / (ε²/2 - ε³/3), under which any
+// fixed pair's squared distance is (1±ε)-preserved with probability 1-δ.
+func MinDimDistributional(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("jl: MinDimDistributional(%v, %v) out of domain", eps, delta))
+	}
+	denom := eps*eps/2 - eps*eps*eps/3
+	return int(math.Ceil(math.Log(2/delta) / denom))
+}
+
+// EpsilonForDim inverts the distributional bound: the smallest ε for which a
+// k-dim projection carries the (ε, δ) guarantee. The paper's example: k=1024
+// with δ=0.05 gives ε≈0.057. Solved by bisection on the monotone bound.
+func EpsilonForDim(k int, delta float64) float64 {
+	if k <= 0 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("jl: EpsilonForDim(%d, %v) out of domain", k, delta))
+	}
+	target := math.Log(2/delta) / float64(k)
+	lo, hi := 1e-9, 0.999999
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid*mid/2-mid*mid*mid/3 >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,159 @@
+package jl
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+func randomPoints(n, d int, src *rng.Source) *linalg.Matrix {
+	m := linalg.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = src.Norm()
+	}
+	return m
+}
+
+// distanceDistortions projects points and returns pairwise squared-distance
+// ratios projected/original.
+func distanceDistortions(t *Transform, x *linalg.Matrix) []float64 {
+	proj := t.ApplyMatrix(x)
+	var out []float64
+	for i := 0; i < x.Rows; i++ {
+		for j := i + 1; j < x.Rows; j++ {
+			orig := linalg.SqDist(x.Row(i), x.Row(j))
+			if orig == 0 {
+				continue
+			}
+			out = append(out, linalg.SqDist(proj.Row(i), proj.Row(j))/orig)
+		}
+	}
+	return out
+}
+
+func TestDistancePreservationAllFamilies(t *testing.T) {
+	src := rng.New(7)
+	x := randomPoints(40, 800, src.Stream("pts"))
+	for _, fam := range []Family{Gaussian, Rademacher, Achlioptas} {
+		tr := New(256, 800, fam, src.Stream("proj-"+fam.String()))
+		ratios := distanceDistortions(tr, x)
+		bad := 0
+		for _, r := range ratios {
+			if r < 0.7 || r > 1.3 {
+				bad++
+			}
+		}
+		frac := float64(bad) / float64(len(ratios))
+		if frac > 0.02 {
+			t.Errorf("%v: %.1f%% of distances distorted beyond 30%%", fam, 100*frac)
+		}
+	}
+}
+
+func TestEpsilonDeltaGuaranteeEmpirically(t *testing.T) {
+	// Distributional form: with k = MinDimDistributional(eps, delta), at
+	// most ~delta of pairs exceed 1±eps distortion. Use a safety margin of
+	// 2x delta for the empirical check.
+	eps, delta := 0.3, 0.1
+	k := MinDimDistributional(eps, delta)
+	src := rng.New(99)
+	x := randomPoints(50, 400, src.Stream("pts"))
+	tr := New(k, 400, Gaussian, src.Stream("proj"))
+	ratios := distanceDistortions(tr, x)
+	bad := 0
+	for _, r := range ratios {
+		if r < 1-eps || r > 1+eps {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(ratios)); frac > 2*delta {
+		t.Errorf("%.1f%% of pairs beyond 1±%.2f, want <= ~%.0f%%", 100*frac, eps, 100*delta)
+	}
+}
+
+func TestMinDimFormulas(t *testing.T) {
+	// The paper quotes (k=1024, delta=0.05, eps=0.057), but its own stated
+	// bound k >= ln(2/delta)/(eps^2/2 - eps^3/3) gives k ~= 2361 for that
+	// eps; solving the bound for k=1024 yields eps ~= 0.0875. We assert
+	// self-consistency of the formula pair instead of the paper's
+	// (apparently misprinted) constant.
+	eps := EpsilonForDim(1024, 0.05)
+	if math.Abs(eps-0.0875) > 0.002 {
+		t.Errorf("EpsilonForDim(1024, .05) = %v, want ~0.0875", eps)
+	}
+	// Inverse consistency: the dim for that epsilon is <= 1024 and close.
+	k := MinDimDistributional(eps, 0.05)
+	if k > 1024 || k < 1000 {
+		t.Errorf("MinDimDistributional(%v, .05) = %d, want ~1024", eps, k)
+	}
+	// Deterministic form grows with ln n.
+	k1 := MinDimForPoints(100, 0.2)
+	k2 := MinDimForPoints(10000, 0.2)
+	if k2 <= k1 {
+		t.Errorf("dim should grow with n: %d vs %d", k1, k2)
+	}
+	ratio := float64(k2) / float64(k1)
+	if math.Abs(ratio-2) > 0.1 { // ln(10000)/ln(100) = 2
+		t.Errorf("dim ratio %v, want ~2", ratio)
+	}
+}
+
+func TestMinDimPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MinDimForPoints(1, 0.5) },
+		func() { MinDimDistributional(0, 0.5) },
+		func() { MinDimDistributional(0.5, 1) },
+		func() { EpsilonForDim(0, 0.5) },
+		func() { New(0, 5, Gaussian, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAchlioptasSparsity(t *testing.T) {
+	tr := New(64, 300, Achlioptas, rng.New(3))
+	zeros := 0
+	for _, v := range tr.R.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(tr.R.Data))
+	if math.Abs(frac-2.0/3) > 0.02 {
+		t.Errorf("Achlioptas zero fraction %v, want ~2/3", frac)
+	}
+}
+
+func TestApplyMatrixMatchesApply(t *testing.T) {
+	src := rng.New(17)
+	x := randomPoints(5, 40, src.Stream("pts"))
+	tr := New(8, 40, Gaussian, src.Stream("proj"))
+	m := tr.ApplyMatrix(x)
+	for i := 0; i < x.Rows; i++ {
+		single := tr.Apply(x.Row(i), nil)
+		for j := range single {
+			if math.Abs(single[j]-m.At(i, j)) > 1e-12 {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	a := New(16, 32, Gaussian, rng.New(5))
+	b := New(16, 32, Gaussian, rng.New(5))
+	for i := range a.R.Data {
+		if a.R.Data[i] != b.R.Data[i] {
+			t.Fatal("same seed produced different transforms")
+		}
+	}
+}

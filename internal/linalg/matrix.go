@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"fmt"
+
+	"frac/internal/parallel"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying them.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("linalg: FromRows ragged row %d: %d vs %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns row i as a mutable slice view.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Col copies column j into dst (allocating when dst is nil or short) and
+// returns it.
+func (m *Matrix) Col(j int, dst []float64) []float64 {
+	if cap(dst) < m.Rows {
+		dst = make([]float64, m.Rows)
+	}
+	dst = dst[:m.Rows]
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
+}
+
+// MulVec computes dst = m * x for a column vector x of length m.Cols,
+// returning dst (allocated when nil or short).
+func (m *Matrix) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dim mismatch: %d cols vs %d vec", m.Cols, len(x)))
+	}
+	if cap(dst) < m.Rows {
+		dst = make([]float64, m.Rows)
+	}
+	dst = dst[:m.Rows]
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns the product a*b, parallelized across rows of a. It panics on a
+// dimension mismatch.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dim mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	parallel.For(a.Rows, func(i int) {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		// k-major inner ordering keeps b access sequential (cache friendly).
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out
+}
+
+// MulTransposed returns a * bᵀ without materializing the transpose; each
+// output element is a row-row dot product, parallelized across rows of a.
+func MulTransposed(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MulTransposed dim mismatch: %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	parallel.For(a.Rows, func(i int) {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	})
+	return out
+}
+
+// Bytes reports the memory footprint of the matrix payload.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }

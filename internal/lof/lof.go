@@ -1,0 +1,130 @@
+// Package lof implements the Local Outlier Factor baseline (Breunig et al.,
+// paper ref 5) — one of the two standard anomaly detectors the FRaC line of
+// work compares against. Scores are computed for test points against a
+// training population: a test point's neighborhood and reference densities
+// come from the training set only, matching the semi-supervised protocol of
+// the paper's evaluation.
+package lof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"frac/internal/linalg"
+	"frac/internal/parallel"
+)
+
+// Model holds the training-set neighborhood statistics needed to score new
+// points.
+type Model struct {
+	k     int
+	train *linalg.Matrix
+	kDist []float64 // k-distance of each training point
+	lrd   []float64 // local reachability density of each training point
+}
+
+// neighbor pairs a training index with a distance.
+type neighbor struct {
+	idx  int
+	dist float64
+}
+
+// kNearest returns the k nearest training points to x, excluding index
+// `skip` (pass -1 to exclude nothing).
+func kNearest(train *linalg.Matrix, x []float64, k, skip int) []neighbor {
+	all := make([]neighbor, 0, train.Rows)
+	for i := 0; i < train.Rows; i++ {
+		if i == skip {
+			continue
+		}
+		all = append(all, neighbor{idx: i, dist: math.Sqrt(linalg.SqDist(train.Row(i), x))})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].dist < all[b].dist })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Fit precomputes k-distances and local reachability densities over the
+// training set. k is clamped to n-1; it panics on fewer than 2 samples.
+func Fit(train *linalg.Matrix, k int) *Model {
+	n := train.Rows
+	if n < 2 {
+		panic(fmt.Sprintf("lof: Fit needs >= 2 training samples, got %d", n))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	m := &Model{k: k, train: train, kDist: make([]float64, n), lrd: make([]float64, n)}
+	neighborhoods := make([][]neighbor, n)
+	parallel.For(n, func(i int) {
+		nb := kNearest(train, train.Row(i), k, i)
+		neighborhoods[i] = nb
+		m.kDist[i] = nb[len(nb)-1].dist
+	})
+	parallel.For(n, func(i int) {
+		m.lrd[i] = m.lrdOf(neighborhoods[i])
+	})
+	return m
+}
+
+// lrdOf computes local reachability density from a neighborhood.
+func (m *Model) lrdOf(nb []neighbor) float64 {
+	var sum float64
+	for _, o := range nb {
+		rd := o.dist
+		if m.kDist[o.idx] > rd {
+			rd = m.kDist[o.idx]
+		}
+		sum += rd
+	}
+	if sum == 0 {
+		// Duplicated points: infinite density, handled by callers via ratio.
+		return math.Inf(1)
+	}
+	return float64(len(nb)) / sum
+}
+
+// Score returns the LOF of x against the training population: ~1 for
+// inliers, >1 increasingly outlying. Higher is more anomalous.
+func (m *Model) Score(x []float64) float64 {
+	nb := kNearest(m.train, x, m.k, -1)
+	lrdX := m.lrdOf(nb)
+	var sum float64
+	for _, o := range nb {
+		sum += m.lrd[o.idx]
+	}
+	mean := sum / float64(len(nb))
+	switch {
+	case math.IsInf(lrdX, 1) && math.IsInf(mean, 1):
+		return 1
+	case math.IsInf(lrdX, 1):
+		return 0
+	case math.IsInf(mean, 1):
+		return math.Inf(1)
+	default:
+		return mean / lrdX
+	}
+}
+
+// Scores evaluates every row of test in parallel.
+func (m *Model) Scores(test *linalg.Matrix) []float64 {
+	out := make([]float64, test.Rows)
+	parallel.For(test.Rows, func(i int) {
+		out[i] = m.Score(test.Row(i))
+	})
+	return out
+}
+
+// K reports the neighborhood size in effect (after clamping).
+func (m *Model) K() int { return m.k }
+
+// Bytes reports the analytic footprint (training matrix + statistics).
+func (m *Model) Bytes() int64 {
+	return m.train.Bytes() + int64(len(m.kDist)+len(m.lrd))*8
+}

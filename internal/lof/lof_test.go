@@ -1,0 +1,88 @@
+package lof
+
+import (
+	"testing"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+func cloud(n int, center float64, src *rng.Source) *linalg.Matrix {
+	x := linalg.NewMatrix(n, 3)
+	for i := range x.Data {
+		x.Data[i] = center + src.Norm()
+	}
+	return x
+}
+
+func TestLOFRanksOutliersAboveInliers(t *testing.T) {
+	src := rng.New(1)
+	train := cloud(100, 0, src.Stream("train"))
+	m := Fit(train, 10)
+	in := cloud(20, 0, src.Stream("in"))
+	out := cloud(20, 10, src.Stream("out"))
+	inScores := m.Scores(in)
+	outScores := m.Scores(out)
+	for i := range inScores {
+		if outScores[i] <= inScores[i] {
+			t.Fatalf("outlier %d scored %v <= inlier %v", i, outScores[i], inScores[i])
+		}
+	}
+}
+
+func TestLOFInliersNearOne(t *testing.T) {
+	src := rng.New(2)
+	train := cloud(200, 0, src.Stream("train"))
+	m := Fit(train, 15)
+	in := cloud(50, 0, src.Stream("in"))
+	for _, s := range m.Scores(in) {
+		if s < 0.5 || s > 2.5 {
+			t.Errorf("inlier LOF = %v, want near 1", s)
+		}
+	}
+}
+
+func TestLOFKClamping(t *testing.T) {
+	src := rng.New(3)
+	train := cloud(5, 0, src)
+	m := Fit(train, 100)
+	if m.K() != 4 {
+		t.Errorf("k clamped to %d, want n-1 = 4", m.K())
+	}
+	m2 := Fit(train, 0)
+	if m2.K() != 1 {
+		t.Errorf("k floor = %d, want 1", m2.K())
+	}
+}
+
+func TestLOFDuplicatePointsFinite(t *testing.T) {
+	// All training points identical: infinite density; scores must stay
+	// well-defined.
+	train := linalg.NewMatrix(10, 2)
+	m := Fit(train, 3)
+	s := m.Score([]float64{0, 0})
+	if s != 1 {
+		t.Errorf("duplicate-cloud self score = %v, want 1", s)
+	}
+	far := m.Score([]float64{5, 5})
+	if far <= 1 {
+		t.Errorf("far point score = %v, want > 1 (infinite reference density)", far)
+	}
+}
+
+func TestLOFPanicsTinyTrain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fit with 1 sample did not panic")
+		}
+	}()
+	Fit(linalg.NewMatrix(1, 2), 3)
+}
+
+func TestLOFBytes(t *testing.T) {
+	src := rng.New(5)
+	m := Fit(cloud(20, 0, src), 5)
+	if m.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	For(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForWorkersSingle(t *testing.T) {
+	order := []int{}
+	ForWorkers(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker must run in order, got %v", order)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, func(int) { ran = true })
+	For(-3, func(int) { ran = true })
+	if ran {
+		t.Error("For should not run for n <= 0")
+	}
+}
+
+func TestForChunkedCoversRange(t *testing.T) {
+	const n = 1003
+	var covered [n]atomic.Int32
+	ForChunked(n, 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var sum atomic.Int64
+	for i := 1; i <= 100; i++ {
+		i := i
+		p.Submit(func() { sum.Add(int64(i)) })
+	}
+	p.Wait()
+	if sum.Load() != 5050 {
+		t.Errorf("pool sum = %d, want 5050", sum.Load())
+	}
+	// Pool must be reusable after Wait.
+	p.Submit(func() { sum.Add(1) })
+	p.Wait()
+	if sum.Load() != 5051 {
+		t.Errorf("pool reuse sum = %d", sum.Load())
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Submit(func() {})
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestMapOrder(t *testing.T) {
+	got := Map(10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForWorkersExceedingN(t *testing.T) {
+	var count atomic.Int32
+	ForWorkers(3, 100, func(i int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("ran %d iterations", count.Load())
+	}
+}
+
+func TestForWorkersNegativeWorkers(t *testing.T) {
+	var count atomic.Int32
+	ForWorkers(5, -2, func(i int) { count.Add(1) })
+	if count.Load() != 5 {
+		t.Errorf("ran %d iterations", count.Load())
+	}
+}
+
+func TestForChunkedEdgeCases(t *testing.T) {
+	ran := false
+	ForChunked(0, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Error("ForChunked ran for n=0")
+	}
+	// Single chunk path.
+	var total atomic.Int32
+	ForChunked(10, 1, func(lo, hi int) { total.Add(int32(hi - lo)) })
+	if total.Load() != 10 {
+		t.Errorf("single chunk covered %d", total.Load())
+	}
+	// Default workers path.
+	total.Store(0)
+	ForChunked(10, 0, func(lo, hi int) { total.Add(int32(hi - lo)) })
+	if total.Load() != 10 {
+		t.Errorf("default workers covered %d", total.Load())
+	}
+	// workers > n clamps.
+	total.Store(0)
+	ForChunked(3, 50, func(lo, hi int) { total.Add(int32(hi - lo)) })
+	if total.Load() != 3 {
+		t.Errorf("clamped workers covered %d", total.Load())
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	p := NewPool(0, 0) // both default
+	defer p.Close()
+	var count atomic.Int32
+	for i := 0; i < 20; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Wait()
+	if count.Load() != 20 {
+		t.Errorf("ran %d tasks", count.Load())
+	}
+}

@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same sequence")
+		}
+	}
+}
+
+func TestStreamIndependenceFromParentState(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	// Consuming the parent must not perturb derived streams.
+	for i := 0; i < 10; i++ {
+		a.Float64()
+	}
+	s1 := a.Stream("x").Uint64()
+	s2 := b.Stream("x").Uint64()
+	if s1 != s2 {
+		t.Error("stream output depends on parent consumption")
+	}
+	if a.Stream("x").Uint64() != s1 {
+		t.Error("stream derivation is not stable")
+	}
+	if a.Stream("x").Uint64() == a.Stream("y").Uint64() {
+		t.Error("distinct labels should give distinct streams")
+	}
+}
+
+func TestStreamN(t *testing.T) {
+	a := New(7)
+	if a.StreamN("m", 1).Uint64() == a.StreamN("m", 2).Uint64() {
+		t.Error("distinct indices should give distinct streams")
+	}
+}
+
+func TestSampleK(t *testing.T) {
+	src := New(1)
+	for trial := 0; trial < 50; trial++ {
+		k := src.IntN(10) + 1
+		got := src.SampleK(20, k)
+		if len(got) != k {
+			t.Fatalf("SampleK returned %d items, want %d", len(got), k)
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 20 {
+				t.Fatalf("SampleK value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleK duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleK(2,3) did not panic")
+		}
+	}()
+	New(1).SampleK(2, 3)
+}
+
+func TestMaskFraction(t *testing.T) {
+	src := New(5)
+	n, p := 20000, 0.3
+	kept := src.Mask(n, p)
+	frac := float64(len(kept)) / float64(n)
+	if math.Abs(frac-p) > 0.02 {
+		t.Errorf("Mask kept %.3f, want ~%.1f", frac, p)
+	}
+	for i := 1; i < len(kept); i++ {
+		if kept[i] <= kept[i-1] {
+			t.Fatal("Mask output must be increasing")
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	src := New(9)
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += src.Binomial(2, 0.3)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-0.6) > 0.02 {
+		t.Errorf("Binomial(2,.3) mean = %v, want 0.6", mean)
+	}
+}
+
+func TestAchlioptasDistribution(t *testing.T) {
+	src := New(11)
+	const trials = 30000
+	var zero, pos, neg int
+	for i := 0; i < trials; i++ {
+		switch v := src.Achlioptas(); {
+		case v == 0:
+			zero++
+		case v > 0:
+			pos++
+		default:
+			neg++
+		}
+	}
+	if math.Abs(float64(zero)/trials-2.0/3) > 0.02 {
+		t.Errorf("Achlioptas zero fraction %v", float64(zero)/trials)
+	}
+	if math.Abs(float64(pos)-float64(neg)) > 0.1*float64(pos+neg) {
+		t.Errorf("Achlioptas sign imbalance: +%d -%d", pos, neg)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	src := New(13)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[src.Categorical([]float64{1, 2, 1})]++
+	}
+	if math.Abs(float64(counts[1])/30000-0.5) > 0.02 {
+		t.Errorf("Categorical middle weight = %v", float64(counts[1])/30000)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(3).Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("Perm repeated a value")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVar(t *testing.T) {
+	cases := []struct {
+		xs       []float64
+		mean, sd float64
+	}{
+		{[]float64{1, 1, 1}, 1, 0},
+		{[]float64{1, 2, 3, 4}, 2.5, 1.2909944487358056},
+		{[]float64{-2, 2}, 0, 2.8284271247461903},
+		{nil, 0, 0},
+		{[]float64{7}, 7, 0},
+	}
+	for _, c := range cases {
+		m, v := MeanVar(c.xs)
+		if !almostEq(m, c.mean, 1e-12) || !almostEq(math.Sqrt(v), c.sd, 1e-12) {
+			t.Errorf("MeanVar(%v) = %v, %v; want mean %v sd %v", c.xs, m, math.Sqrt(v), c.mean, c.sd)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = %v, %v; want -1, 5", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	// Property: streaming mean/variance agree with the two-pass formulas.
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 128
+		}
+		var w Welford
+		for _, v := range xs {
+			w.Add(v)
+		}
+		m, v := MeanVar(xs)
+		return almostEq(w.Mean(), m, 1e-9) && almostEq(w.Variance(), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+	w.Add(5)
+	if w.Variance() != 0 {
+		t.Error("single-observation variance should be 0")
+	}
+}

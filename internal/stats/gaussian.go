@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+const (
+	log2Pi = 1.8378770664093453 // ln(2π)
+	// MinSigma floors fitted standard deviations. A feature (or a residual
+	// distribution) that is constant on the training set would otherwise
+	// produce infinite surprisal for any deviation at test time; the floor
+	// caps the contribution of such degenerate features, matching the
+	// numerical guards in the original FRaC release.
+	MinSigma = 1e-9
+)
+
+// Gaussian is a univariate normal distribution. The zero value is invalid;
+// construct with FitGaussian or set fields directly.
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// FitGaussian fits a Gaussian to xs by maximum likelihood (mean, unbiased
+// sd), flooring sigma at MinSigma.
+func FitGaussian(xs []float64) Gaussian {
+	mu, v := MeanVar(xs)
+	sd := math.Sqrt(v)
+	if sd < MinSigma {
+		sd = MinSigma
+	}
+	return Gaussian{Mu: mu, Sigma: sd}
+}
+
+// LogPDF returns the log density at x.
+func (g Gaussian) LogPDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return -0.5*z*z - math.Log(g.Sigma) - 0.5*log2Pi
+}
+
+// PDF returns the density at x.
+func (g Gaussian) PDF(x float64) float64 { return math.Exp(g.LogPDF(x)) }
+
+// Surprisal returns -log p(x), the information content of observing x in
+// nats. This is the continuous-case plug-in used by FRaC's error models.
+func (g Gaussian) Surprisal(x float64) float64 { return -g.LogPDF(x) }
+
+// Entropy returns the differential entropy ln(σ√(2πe)) in nats.
+func (g Gaussian) Entropy() float64 {
+	return 0.5*log2Pi + 0.5 + math.Log(g.Sigma)
+}
+
+// CDF returns the cumulative distribution at x.
+func (g Gaussian) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// NormInvCDF returns the standard normal quantile Φ⁻¹(p) using Acklam's
+// rational approximation (|relative error| < 1.15e-9), refined by one
+// Halley step against math.Erfc. It panics for p outside (0, 1).
+func NormInvCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormInvCDF p out of (0,1)")
+	}
+	// Acklam coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}

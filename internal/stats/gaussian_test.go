@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianPDFStandard(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	if !almostEq(g.PDF(0), 0.3989422804014327, 1e-12) {
+		t.Errorf("standard normal PDF(0) = %v", g.PDF(0))
+	}
+	if !almostEq(g.PDF(1), 0.24197072451914337, 1e-12) {
+		t.Errorf("standard normal PDF(1) = %v", g.PDF(1))
+	}
+}
+
+func TestGaussianEntropyClosedForm(t *testing.T) {
+	// H = 0.5*ln(2*pi*e*sigma^2)
+	for _, sd := range []float64{0.1, 1, 3.7} {
+		g := Gaussian{Mu: 2, Sigma: sd}
+		want := 0.5 * math.Log(2*math.Pi*math.E*sd*sd)
+		if !almostEq(g.Entropy(), want, 1e-12) {
+			t.Errorf("Entropy(sigma=%v) = %v, want %v", sd, g.Entropy(), want)
+		}
+	}
+}
+
+func TestFitGaussianFloorsSigma(t *testing.T) {
+	g := FitGaussian([]float64{4, 4, 4, 4})
+	if g.Sigma < MinSigma {
+		t.Errorf("constant sample sigma %v below floor", g.Sigma)
+	}
+	if g.Mu != 4 {
+		t.Errorf("mu = %v, want 4", g.Mu)
+	}
+	if math.IsInf(g.Surprisal(5), 0) || math.IsNaN(g.Surprisal(5)) {
+		t.Errorf("surprisal of off-mean value must stay finite, got %v", g.Surprisal(5))
+	}
+}
+
+func TestGaussianCDF(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	cases := map[float64]float64{0: 0.5, 1.96: 0.9750021048517795, -1.96: 0.024997895148220435}
+	for x, want := range cases {
+		if !almostEq(g.CDF(x), want, 1e-9) {
+			t.Errorf("CDF(%v) = %v, want %v", x, g.CDF(x), want)
+		}
+	}
+}
+
+func TestNormInvCDFInvertsCDF(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 1) / 65537 // p in (0,1)
+		x := NormInvCDF(p)
+		return almostEq(g.CDF(x), p, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormInvCDFKnownQuantiles(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:               0,
+		0.975:             1.959963984540054,
+		0.025:             -1.959963984540054,
+		0.841344746068543: 1.0000000000,
+	}
+	for p, want := range cases {
+		if !almostEq(NormInvCDF(p), want, 1e-7) {
+			t.Errorf("NormInvCDF(%v) = %v, want %v", p, NormInvCDF(p), want)
+		}
+	}
+}
+
+func TestSurprisalMinimizedAtMean(t *testing.T) {
+	g := Gaussian{Mu: 3, Sigma: 2}
+	if g.Surprisal(3) >= g.Surprisal(4) || g.Surprisal(3) >= g.Surprisal(1) {
+		t.Error("surprisal should be minimized at the mean")
+	}
+}

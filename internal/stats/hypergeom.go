@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// HypergeomPMF returns the probability of drawing exactly k successes in a
+// sample of n from a population of size nTotal containing kTotal successes.
+// Computed in log space via lgamma for stability at genomic scales.
+func HypergeomPMF(k, n, kTotal, nTotal int) float64 {
+	if k < 0 || k > n || k > kTotal || n-k > nTotal-kTotal {
+		return 0
+	}
+	return math.Exp(logChoose(kTotal, k) + logChoose(nTotal-kTotal, n-k) - logChoose(nTotal, n))
+}
+
+// HypergeomTail returns P(X >= k) for the hypergeometric distribution — the
+// enrichment p-value the paper computes for finding 2 of the top-100
+// schizophrenia genes among 20 SNP models drawn from a pool of 4173 (§IV,
+// p = 0.011).
+func HypergeomTail(k, n, kTotal, nTotal int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	hi := n
+	if kTotal < hi {
+		hi = kTotal
+	}
+	p := 0.0
+	for i := k; i <= hi; i++ {
+		p += HypergeomPMF(i, n, kTotal, nTotal)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	// Sum over k of PMF(k; n, K, N) = 1.
+	n, kTot, nTot := 5, 7, 20
+	sum := 0.0
+	for k := 0; k <= n; k++ {
+		sum += HypergeomPMF(k, n, kTot, nTot)
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+}
+
+func TestHypergeomKnownValue(t *testing.T) {
+	// Drawing 2 aces in a 5-card hand: C(4,2)*C(48,3)/C(52,5).
+	want := 6.0 * 17296 / 2598960
+	if got := HypergeomPMF(2, 5, 4, 52); !almostEq(got, want, 1e-12) {
+		t.Errorf("PMF = %v, want %v", got, want)
+	}
+}
+
+func TestHypergeomPaperScenario(t *testing.T) {
+	// The paper (§IV) computes the enrichment probability of finding >= 2
+	// of the top-100 schizophrenia genes among 20 models drawn from a pool
+	// of 4173 and reports 0.011. With the parameters as literally stated,
+	// the tail is ~0.082 (Poisson cross-check: lambda = 20*100/4173 =
+	// 0.479, P(X>=2) = 1 - e^-l(1+l) = 0.0826); the paper presumably used
+	// a different effective success count. We assert our implementation
+	// against the Poisson approximation, which is accurate in this regime.
+	p := HypergeomTail(2, 20, 100, 4173)
+	lambda := 20.0 * 100 / 4173
+	poisson := 1 - math.Exp(-lambda)*(1+lambda)
+	if math.Abs(p-poisson) > 0.003 {
+		t.Errorf("tail = %v, Poisson approximation %v", p, poisson)
+	}
+}
+
+func TestHypergeomTailBounds(t *testing.T) {
+	if p := HypergeomTail(0, 5, 3, 10); p != 1 {
+		t.Errorf("P(X>=0) = %v, want 1", p)
+	}
+	if p := HypergeomTail(6, 5, 10, 20); p != 0 {
+		t.Errorf("impossible tail = %v, want 0", p)
+	}
+}

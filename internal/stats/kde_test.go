@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func pseudoNormal(n int, seed float64) []float64 {
+	xs := make([]float64, n)
+	s := seed
+	for i := range xs {
+		u := 0.0
+		for j := 0; j < 12; j++ {
+			s = math.Mod(s*1103515245+12345, 2147483648)
+			u += s / 2147483648
+		}
+		xs[i] = u - 6
+	}
+	return xs
+}
+
+func TestKDEPDFIntegratesToOne(t *testing.T) {
+	xs := []float64{-1, 0, 0.5, 2, 3}
+	k := FitKDE(xs, 0)
+	lo, hi := -10.0, 13.0
+	const n = 4000
+	step := (hi - lo) / n
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		sum += k.PDF(lo+float64(i)*step) * step
+	}
+	if !almostEq(sum, 1, 1e-3) {
+		t.Errorf("KDE integrates to %v", sum)
+	}
+}
+
+func TestKDEEntropyNearGaussianEntropy(t *testing.T) {
+	xs := pseudoNormal(1500, 777)
+	kde := FitKDE(xs, 0)
+	h := kde.DifferentialEntropy()
+	want := FitGaussian(xs).Entropy()
+	if math.Abs(h-want) > 0.08 {
+		t.Errorf("KDE entropy %v vs Gaussian %v", h, want)
+	}
+}
+
+func TestKDESurprisalFiniteFarOut(t *testing.T) {
+	k := FitKDE([]float64{0, 0.1, -0.1}, 0)
+	s := k.Surprisal(1e6)
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Errorf("far-tail surprisal = %v, want finite (floored)", s)
+	}
+	if s <= k.Surprisal(0) {
+		t.Error("far-tail must be more surprising than the mode")
+	}
+}
+
+func TestKDEDegenerateSample(t *testing.T) {
+	k := FitKDE([]float64{2, 2, 2}, 0)
+	if k.Bandwidth() <= 0 {
+		t.Error("degenerate sample should still get a positive bandwidth")
+	}
+	h := k.DifferentialEntropy()
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Errorf("degenerate entropy = %v", h)
+	}
+}
+
+func TestSilvermanBandwidthScales(t *testing.T) {
+	xs := pseudoNormal(500, 42)
+	h1 := SilvermanBandwidth(xs)
+	scaled := make([]float64, len(xs))
+	for i, v := range xs {
+		scaled[i] = 3 * v
+	}
+	h3 := SilvermanBandwidth(scaled)
+	if !almostEq(h3/h1, 3, 1e-9) {
+		t.Errorf("bandwidth should scale linearly with data scale: %v vs %v", h1, h3)
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "sort"
+
+// Median returns the median of xs (average of middle two for even length).
+// It panics on empty input. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Quantile returns the q-th quantile of xs (q in [0,1]) using linear
+// interpolation between order statistics. It panics on empty input or q
+// outside [0,1]. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile q out of [0,1]")
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	pos := q * float64(len(tmp)-1)
+	lo := int(pos)
+	if lo == len(tmp)-1 {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[lo+1]*frac
+}
+
+// TopKIndices returns the indices of the k largest values of xs, ordered by
+// decreasing value (ties broken by lower index first). k is clamped to
+// len(xs).
+func TopKIndices(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx[:k]
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := Median([]float64{5}); m != 5 {
+		t.Errorf("singleton median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 30, 20}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 30 {
+		t.Error("quantile endpoints wrong")
+	}
+	if q := Quantile(xs, 0.5); q != 20 {
+		t.Errorf("q(.5) = %v", q)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.25); q != 2.5 {
+		t.Errorf("q(.25) = %v, want 2.5", q)
+	}
+}
+
+func TestTopKIndices(t *testing.T) {
+	idx := TopKIndices([]float64{1, 9, 5, 9, 2}, 3)
+	// ties broken by lower index first: 1 (9), 3 (9), 2 (5)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("TopKIndices = %v, want %v", idx, want)
+		}
+	}
+	if got := TopKIndices([]float64{1, 2}, 5); len(got) != 2 {
+		t.Errorf("k beyond len should clamp, got %v", got)
+	}
+}
+
+func TestMedianBetweenMinMax(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Median(xs)
+		lo, hi := MinMax(xs)
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

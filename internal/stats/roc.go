@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AUC returns the area under the ROC curve for anomaly scores, where labels
+// mark anomalies (true) vs. controls (false) and higher scores are more
+// anomalous — the evaluation used throughout the FRaC papers (ref 9).
+//
+// It is computed via the rank statistic (Mann–Whitney U) with midrank tie
+// handling: AUC = (Σ ranks(anomalies) - n_a(n_a+1)/2) / (n_a * n_c).
+// It panics if either class is empty, since AUC is undefined there.
+func AUC(scores []float64, anomalous []bool) float64 {
+	if len(scores) != len(anomalous) {
+		panic(fmt.Sprintf("stats: AUC length mismatch %d vs %d", len(scores), len(anomalous)))
+	}
+	nA, nC := 0, 0
+	for _, a := range anomalous {
+		if a {
+			nA++
+		} else {
+			nC++
+		}
+	}
+	if nA == 0 || nC == 0 {
+		panic("stats: AUC needs at least one anomaly and one control")
+	}
+	ranks := MidRanks(scores)
+	var rankSum float64
+	for i, a := range anomalous {
+		if a {
+			rankSum += ranks[i]
+		}
+	}
+	u := rankSum - float64(nA)*float64(nA+1)/2
+	return u / (float64(nA) * float64(nC))
+}
+
+// MidRanks returns 1-based ranks of xs with ties assigned the average
+// (mid) rank of their group.
+func MidRanks(xs []float64) []float64 {
+	n := len(xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[order[j+1]] == xs[order[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			ranks[order[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC returns the full ROC curve (including the (0,0) and (1,1) endpoints)
+// sweeping the threshold from +inf downwards. Ties in score collapse to a
+// single point.
+func ROC(scores []float64, anomalous []bool) []ROCPoint {
+	if len(scores) != len(anomalous) {
+		panic(fmt.Sprintf("stats: ROC length mismatch %d vs %d", len(scores), len(anomalous)))
+	}
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	nA, nC := 0, 0
+	for _, a := range anomalous {
+		if a {
+			nA++
+		} else {
+			nC++
+		}
+	}
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: inf()}}
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[order[j]] == scores[order[i]] {
+			if anomalous[order[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			FPR:       safeDiv(float64(fp), float64(nC)),
+			TPR:       safeDiv(float64(tp), float64(nA)),
+			Threshold: scores[order[i]],
+		})
+		i = j
+	}
+	return curve
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,167 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+// SVCParams configures linear support-vector classification.
+type SVCParams struct {
+	// C is the regularization trade-off. <= 0 selects 1.
+	C float64
+	// MaxIter bounds outer coordinate-descent passes. <= 0 selects 100.
+	MaxIter int
+	// Tol is the projected-gradient stopping tolerance. <= 0 selects 1e-3.
+	Tol float64
+	// Bias adds an intercept when true.
+	Bias bool
+	// Seed permutes coordinate order deterministically.
+	Seed uint64
+}
+
+func (p SVCParams) withDefaults() SVCParams {
+	if p.C <= 0 {
+		p.C = 1
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 100
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-3
+	}
+	return p
+}
+
+// BinarySVC is a trained linear binary classifier; the decision value is
+// wᵀx + b with positive meaning class true.
+type BinarySVC struct {
+	W []float64
+	B float64
+}
+
+// TrainBinarySVC fits an L2-regularized L2-loss SVC by dual coordinate
+// descent. labels[i] gives sample i's class.
+func TrainBinarySVC(x *linalg.Matrix, labels []bool, params SVCParams) *BinarySVC {
+	p := params.withDefaults()
+	n, d := x.Rows, x.Cols
+	if len(labels) != n {
+		panic(fmt.Sprintf("svm: TrainBinarySVC %d samples but %d labels", n, len(labels)))
+	}
+	w := make([]float64, d)
+	var b float64
+	if n == 0 {
+		return &BinarySVC{W: w}
+	}
+	diag := 0.5 / p.C // L2-loss diagonal term; upper bound is +inf
+	y := make([]float64, n)
+	for i, l := range labels {
+		if l {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	alpha := make([]float64, n)
+	qd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		qd[i] = linalg.Dot(row, row) + diag
+		if p.Bias {
+			qd[i]++
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	src := rng.New(p.Seed ^ 0x9e3779b9)
+	for iter := 0; iter < p.MaxIter; iter++ {
+		src.Shuffle(order)
+		maxPG := 0.0
+		for _, i := range order {
+			row := x.Row(i)
+			g := y[i]*(linalg.Dot(w, row)+b*boolTo1(p.Bias)) - 1 + diag*alpha[i]
+			pg := g
+			if alpha[i] == 0 && g > 0 {
+				pg = 0
+			}
+			if math.Abs(pg) > maxPG {
+				maxPG = math.Abs(pg)
+			}
+			if pg == 0 {
+				continue
+			}
+			old := alpha[i]
+			alpha[i] = math.Max(old-g/qd[i], 0)
+			delta := (alpha[i] - old) * y[i]
+			if delta != 0 {
+				linalg.Axpy(delta, row, w)
+				if p.Bias {
+					b += delta
+				}
+			}
+		}
+		if maxPG < p.Tol {
+			break
+		}
+	}
+	return &BinarySVC{W: w, B: b}
+}
+
+// Decision returns the margin value wᵀx + b.
+func (m *BinarySVC) Decision(x []float64) float64 {
+	return linalg.Dot(m.W, x) + m.B
+}
+
+// Predict returns true when the decision value is positive.
+func (m *BinarySVC) Predict(x []float64) bool { return m.Decision(x) > 0 }
+
+// Bytes reports the model's analytic footprint.
+func (m *BinarySVC) Bytes() int64 { return int64(len(m.W))*8 + 16 }
+
+// MultiSVC is a one-vs-rest multiclass linear SVC over labels [0, K).
+type MultiSVC struct {
+	K      int
+	Models []*BinarySVC // one per class
+}
+
+// TrainMultiSVC fits K one-vs-rest binary machines. labels must lie in
+// [0, k).
+func TrainMultiSVC(x *linalg.Matrix, labels []int, k int, params SVCParams) *MultiSVC {
+	if k < 2 {
+		panic(fmt.Sprintf("svm: TrainMultiSVC k=%d", k))
+	}
+	models := make([]*BinarySVC, k)
+	bin := make([]bool, x.Rows)
+	for c := 0; c < k; c++ {
+		for i, l := range labels {
+			bin[i] = l == c
+		}
+		params.Seed = params.Seed*31 + uint64(c) + 1
+		models[c] = TrainBinarySVC(x, bin, params)
+	}
+	return &MultiSVC{K: k, Models: models}
+}
+
+// Predict returns the class with the largest one-vs-rest decision value.
+func (m *MultiSVC) Predict(x []float64) int {
+	best, bestVal := 0, math.Inf(-1)
+	for c, mdl := range m.Models {
+		if v := mdl.Decision(x); v > bestVal {
+			best, bestVal = c, v
+		}
+	}
+	return best
+}
+
+// Bytes reports the model's analytic footprint.
+func (m *MultiSVC) Bytes() int64 {
+	var b int64
+	for _, mdl := range m.Models {
+		b += mdl.Bytes()
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/dataset"
+	"frac/internal/rng"
+	"frac/internal/stats"
+)
+
+// SNPParams configures the Gaussian-copula haplotype-block genotype
+// generator. Each site s has a minor-allele frequency q_s; each chromosome's
+// allele at s is 1 when a latent Gaussian (shared within an LD block with
+// coupling LD) falls below Φ⁻¹(q_s); the genotype is the two-chromosome sum,
+// a ternary value in {0,1,2} — the representation the paper describes
+// (homozygous major / heterozygous / homozygous minor).
+type SNPParams struct {
+	// Features is the SNP site count.
+	Features int
+	// Normal and Anomaly are the sample counts.
+	Normal, Anomaly int
+	// BlockSize is the LD block width in sites.
+	BlockSize int
+	// LD in [0,1) is the within-block latent correlation.
+	LD float64
+	// MAFLow and MAFHigh bound site minor-allele frequencies (common
+	// variants; the paper notes rare variants are excluded by design).
+	MAFLow, MAFHigh float64
+	// MissingFrac randomly masks genotypes as missing (no-calls).
+	MissingFrac float64
+
+	// Confounded enables the two-population schizophrenia construction:
+	// anomalous samples come from a second population. Whole LD blocks are
+	// differentiated ("drifted"): their sites' allele frequencies shift by
+	// DriftAmount in population B, and the LD phase of half the sites in
+	// each drifted block flips, so cross-site relationships learned on
+	// population A break on population B. Drifted sites draw population-A
+	// frequencies from the top of the entropy range (near 0.5), mirroring
+	// the paper's observation that the features its entropy models
+	// implicated "have allele frequencies that differ substantially across
+	// the HapMap populations".
+	Confounded bool
+	// DriftFrac is the fraction of LD blocks differentiated between the
+	// populations (used when Confounded).
+	DriftFrac float64
+	// DriftMAFLow/High bound the population-A frequency of drifted sites;
+	// keep this band above MAFHigh so the drifted sites are exactly the
+	// top-entropy ones. Zeros select [0.25, 0.35].
+	DriftMAFLow, DriftMAFHigh float64
+	// DriftAmount is the (signed, applied upward) allele-frequency shift of
+	// drifted sites in population B. The default band and a shift of ~0.35
+	// mirror the frequency across 0.5, preserving genotype variance (so the
+	// shift does not cancel against a variance deficit in projected spaces)
+	// while moving the distribution a lot.
+	DriftAmount float64
+	// BackgroundFlipFrac is the fraction of non-drifted sites whose LD
+	// phase flips in population B without a frequency shift — subtle
+	// genome-wide haplotype-structure differences between populations.
+	// These sites keep their population-A marginals (so entropy ranking
+	// ignores them) but break cross-site predictions on population B,
+	// giving randomly filtered models ancestry signal everywhere, as the
+	// paper's random schizophrenia models exhibited.
+	BackgroundFlipFrac float64
+}
+
+// Validate checks generator parameters.
+func (p SNPParams) Validate() error {
+	if p.Features < 1 || p.Normal < 4 || p.Anomaly < 1 {
+		return fmt.Errorf("synth: snp needs features>=1, normal>=4, anomaly>=1 (got %d, %d, %d)", p.Features, p.Normal, p.Anomaly)
+	}
+	if p.MAFLow <= 0 || p.MAFHigh >= 1 || p.MAFLow > p.MAFHigh {
+		return fmt.Errorf("synth: MAF range [%v,%v] invalid", p.MAFLow, p.MAFHigh)
+	}
+	if p.LD < 0 || p.LD >= 1 {
+		return fmt.Errorf("synth: LD %v out of [0,1)", p.LD)
+	}
+	if p.MissingFrac < 0 || p.MissingFrac >= 1 {
+		return fmt.Errorf("synth: MissingFrac %v out of [0,1)", p.MissingFrac)
+	}
+	return nil
+}
+
+func (p SNPParams) withDefaults() SNPParams {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 10
+	}
+	if p.LD == 0 {
+		p.LD = 0.75
+	}
+	if p.MAFLow == 0 && p.MAFHigh == 0 {
+		p.MAFLow, p.MAFHigh = 0.08, 0.5
+	}
+	if p.Confounded {
+		if p.DriftFrac == 0 {
+			p.DriftFrac = 0.05
+		}
+		if p.DriftAmount == 0 {
+			p.DriftAmount = 0.35
+		}
+		if p.DriftMAFLow == 0 {
+			p.DriftMAFLow = 0.25
+		}
+		if p.DriftMAFHigh == 0 {
+			p.DriftMAFHigh = 0.35
+		}
+	}
+	return p
+}
+
+// snpStructure is the fixed per-data-set genetic architecture.
+type snpStructure struct {
+	params    SNPParams
+	maf       []float64 // population-A minor allele frequency per site
+	mafB      []float64 // population-B frequency (Confounded only)
+	thresh    []float64 // Φ⁻¹(maf) per site, population A
+	threshB   []float64
+	drifted   []bool // site differentiated between populations
+	flipped   []bool // site's LD phase flips in population B
+	blockOf   []int
+	numBlocks int
+}
+
+func buildSNPStructure(p SNPParams, src *rng.Source) *snpStructure {
+	s := &snpStructure{
+		params:  p,
+		maf:     make([]float64, p.Features),
+		thresh:  make([]float64, p.Features),
+		blockOf: make([]int, p.Features),
+		drifted: make([]bool, p.Features),
+		flipped: make([]bool, p.Features),
+	}
+	for j := 0; j < p.Features; j++ {
+		s.maf[j] = src.Uniform(p.MAFLow, p.MAFHigh)
+		s.thresh[j] = stats.NormInvCDF(s.maf[j])
+		s.blockOf[j] = j / p.BlockSize
+	}
+	s.numBlocks = (p.Features + p.BlockSize - 1) / p.BlockSize
+	if p.Confounded {
+		s.mafB = append([]float64(nil), s.maf...)
+		s.threshB = make([]float64, p.Features)
+		nDrift := int(p.DriftFrac * float64(s.numBlocks))
+		if nDrift < 1 {
+			nDrift = 1
+		}
+		for _, b := range src.SampleK(s.numBlocks, nDrift) {
+			lo, hi := b*p.BlockSize, (b+1)*p.BlockSize
+			if hi > p.Features {
+				hi = p.Features
+			}
+			for j := lo; j < hi; j++ {
+				s.drifted[j] = true
+				// Drifted sites sit at the top of the entropy range in
+				// population A (the drift band lies above MAFHigh)...
+				s.maf[j] = src.Uniform(p.DriftMAFLow, p.DriftMAFHigh)
+				s.thresh[j] = stats.NormInvCDF(s.maf[j])
+				// ...and shift upward by DriftAmount in population B
+				// (mirroring across 0.5: variance-preserving).
+				s.mafB[j] = clampProb(s.maf[j] + p.DriftAmount)
+				// Half of a drifted block's sites flip LD phase in B,
+				// breaking cross-site predictions learned on A while the
+				// block's other half keeps its phase.
+				s.flipped[j] = (j-lo)%2 == 1
+			}
+		}
+		for j := 0; j < p.Features; j++ {
+			s.threshB[j] = stats.NormInvCDF(s.mafB[j])
+			if !s.drifted[j] && p.BackgroundFlipFrac > 0 && src.Bernoulli(p.BackgroundFlipFrac) {
+				s.flipped[j] = true
+			}
+		}
+	}
+	return s
+}
+
+func clampProb(q float64) float64 {
+	return math.Min(0.95, math.Max(0.05, q))
+}
+
+// genotypeRow writes one sample's genotypes. popB selects the second
+// population's frequencies and flipped LD phase at drifted sites.
+func (s *snpStructure) genotypeRow(row []float64, popB bool, draw *rng.Source) {
+	p := s.params
+	rho := math.Sqrt(p.LD)
+	tail := math.Sqrt(1 - p.LD)
+	// Two latent chromosomes, each with a per-block shared factor.
+	for chrom := 0; chrom < 2; chrom++ {
+		blockT := make([]float64, s.numBlocks)
+		for b := range blockT {
+			blockT[b] = draw.Norm()
+		}
+		for j := 0; j < p.Features; j++ {
+			t := blockT[s.blockOf[j]]
+			thr := s.thresh[j]
+			if popB && s.threshB != nil {
+				thr = s.threshB[j]
+				if s.flipped[j] {
+					// Flipped LD phase: the site correlates with its block
+					// in the opposite direction, so models trained on
+					// population A mispredict it in B.
+					t = -t
+				}
+			}
+			x := rho*t + tail*draw.Norm()
+			if chrom == 0 {
+				row[j] = 0
+			}
+			if x < thr {
+				row[j]++
+			}
+		}
+	}
+}
+
+// GenerateSNP produces a labeled single-population SNP data set (the autism
+// construction: anomaly labels carry no genetic signal, so detectors should
+// hover at AUC 0.5).
+func GenerateSNP(name string, p SNPParams, src *rng.Source) (*dataset.Dataset, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := buildSNPStructure(p, src.Stream("structure"))
+	d := newSNPDataset(name, p.Features, p.Normal+p.Anomaly)
+	draw := src.Stream("samples")
+	for i := 0; i < d.NumSamples(); i++ {
+		anom := i >= p.Normal
+		d.Anomalous[i] = anom
+		popB := p.Confounded && anom
+		s.genotypeRow(d.Sample(i), popB, draw)
+	}
+	applyMissing(d, p.MissingFrac, src.Stream("missing"))
+	return d, nil
+}
+
+// ConfoundedTruth records the ground-truth genetic architecture of a
+// confounded SNP data set, for validating interpretation methods: which
+// sites are frequency-drifted between the populations and which sites'
+// LD phase flips.
+type ConfoundedTruth struct {
+	DriftedSites []int
+	FlippedSites []int
+}
+
+// GenerateConfoundedSNP produces the schizophrenia construction as separate
+// train and test sets: training normals from population A; test = a few
+// held-out A normals plus population-B cases. The "signal" available to a
+// detector is ancestry, exactly the confound the paper diagnoses.
+func GenerateConfoundedSNP(name string, p SNPParams, testNormals int, src *rng.Source) (train, test *dataset.Dataset, err error) {
+	train, test, _, err = GenerateConfoundedSNPWithTruth(name, p, testNormals, src)
+	return train, test, err
+}
+
+// GenerateConfoundedSNPWithTruth is GenerateConfoundedSNP plus the
+// ground-truth site architecture.
+func GenerateConfoundedSNPWithTruth(name string, p SNPParams, testNormals int, src *rng.Source) (train, test *dataset.Dataset, truth ConfoundedTruth, err error) {
+	p.Confounded = true
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, ConfoundedTruth{}, err
+	}
+	if testNormals < 1 || testNormals >= p.Normal {
+		return nil, nil, ConfoundedTruth{}, fmt.Errorf("synth: testNormals %d out of [1,%d)", testNormals, p.Normal)
+	}
+	s := buildSNPStructure(p, src.Stream("structure"))
+	draw := src.Stream("samples")
+
+	train = newSNPDataset(name+"-train", p.Features, p.Normal-testNormals)
+	train.Anomalous = nil
+	for i := 0; i < train.NumSamples(); i++ {
+		s.genotypeRow(train.Sample(i), false, draw)
+	}
+	test = newSNPDataset(name+"-test", p.Features, testNormals+p.Anomaly)
+	for i := 0; i < test.NumSamples(); i++ {
+		anom := i >= testNormals
+		test.Anomalous[i] = anom
+		s.genotypeRow(test.Sample(i), anom, draw)
+	}
+	applyMissing(train, p.MissingFrac, src.Stream("missing-train"))
+	applyMissing(test, p.MissingFrac, src.Stream("missing-test"))
+	for j := 0; j < p.Features; j++ {
+		if s.drifted[j] {
+			truth.DriftedSites = append(truth.DriftedSites, j)
+		}
+		if s.flipped[j] {
+			truth.FlippedSites = append(truth.FlippedSites, j)
+		}
+	}
+	return train, test, truth, nil
+}
+
+func newSNPDataset(name string, features, samples int) *dataset.Dataset {
+	schema := make(dataset.Schema, features)
+	for j := range schema {
+		schema[j] = dataset.Feature{Name: fmt.Sprintf("rs%d", j), Kind: dataset.Categorical, Arity: 3}
+	}
+	d := dataset.New(name, schema, samples)
+	d.Anomalous = make([]bool, samples)
+	return d
+}

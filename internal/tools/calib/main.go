@@ -1,0 +1,128 @@
+// Command calib is the development harness used to fit the synthetic
+// compendium's difficulty knobs (internal/synth/profiles.go) against the
+// paper's Table II–V targets. It runs one profile through the full set of
+// variants at a chosen scale and prints raw AUCs, so a knob change can be
+// evaluated in seconds without regenerating whole tables.
+//
+// Usage:
+//
+//	go run ./internal/tools/calib -profile biomarkers -scale 32 -seeds 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/rng"
+	"frac/internal/stats"
+	"frac/internal/svm"
+	"frac/internal/synth"
+	"frac/internal/tree"
+)
+
+func main() {
+	profileName := flag.String("profile", "biomarkers", "compendium profile to calibrate")
+	scale := flag.Int("scale", 32, "feature scale divisor")
+	seeds := flag.Int("seeds", 2, "independent data-set draws to average")
+	flag.Parse()
+	if err := run(*profileName, *scale, *seeds); err != nil {
+		fmt.Fprintf(os.Stderr, "calib: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(profileName string, scale, seeds int) error {
+	p, err := synth.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+	var full, ens, ent, div, jl stats.Welford
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		rep, err := oneReplicate(p, scale, seed)
+		if err != nil {
+			return err
+		}
+		cfg := core.Config{Seed: 7}
+		if p.SNP {
+			cfg.Learners = core.TreeLearners(tree.Params{})
+		} else {
+			cfg.Learners = core.MixedLearners(svm.SVRParams{C: 0.01}, tree.Params{})
+		}
+		src := rng.New(seed * 31)
+
+		if !p.Confounded { // the full run is never executed on schizophrenia
+			res, err := core.Run(rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()), cfg)
+			if err != nil {
+				return err
+			}
+			full.Add(stats.AUC(res.Scores, rep.Test.Anomalous))
+		}
+		scores, err := core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, 0.05,
+			core.EnsembleSpec{Members: 10}, src.Stream("ens"), cfg)
+		if err != nil {
+			return err
+		}
+		ens.Add(stats.AUC(scores, rep.Test.Anomalous))
+
+		res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.EntropyFilter, 0.05, src.Stream("ent"), cfg)
+		if err != nil {
+			return err
+		}
+		ent.Add(stats.AUC(res.Scores, rep.Test.Anomalous))
+
+		if !p.Confounded { // diverse is too costly on the big SNP set (as in the paper)
+			dres, err := core.RunDiverse(rep.Train, rep.Test, 0.5, 1, src.Stream("div"), cfg)
+			if err != nil {
+				return err
+			}
+			div.Add(stats.AUC(dres.Scores, rep.Test.Anomalous))
+		}
+
+		dim := 1024 / scale
+		if dim < 8 {
+			dim = 8
+		}
+		spec := core.JLSpec{Dim: dim}
+		if p.SNP {
+			spec.Learners = cfg.Learners
+		}
+		jres, err := core.RunJL(rep.Train, rep.Test, spec, src.Stream("jl"), cfg)
+		if err != nil {
+			return err
+		}
+		jl.Add(stats.AUC(jres.Scores, rep.Test.Anomalous))
+	}
+	fmt.Printf("%s @ 1:%d over %d draws\n", profileName, scale, seeds)
+	if full.N() > 0 {
+		fmt.Printf("  full:             %.3f (sd %.3f)   paper %.2f\n", full.Mean(), full.StdDev(), p.PaperAUC)
+	}
+	fmt.Printf("  random-ensemble:  %.3f (sd %.3f)\n", ens.Mean(), ens.StdDev())
+	fmt.Printf("  entropy-filter:   %.3f (sd %.3f)\n", ent.Mean(), ent.StdDev())
+	if div.N() > 0 {
+		fmt.Printf("  diverse (p=1/2):  %.3f (sd %.3f)\n", div.Mean(), div.StdDev())
+	}
+	fmt.Printf("  jl:               %.3f (sd %.3f)\n", jl.Mean(), jl.StdDev())
+	return nil
+}
+
+func oneReplicate(p synth.Profile, scale int, seed uint64) (dataset.Replicate, error) {
+	if p.Confounded {
+		train, test, err := p.GenerateSplit(scale, seed)
+		if err != nil {
+			return dataset.Replicate{}, err
+		}
+		return dataset.FixedSplit(train, test)
+	}
+	pool, err := p.Generate(scale, seed)
+	if err != nil {
+		return dataset.Replicate{}, err
+	}
+	reps, err := dataset.MakeReplicates(pool, 1, 2.0/3, rng.New(seed+100))
+	if err != nil {
+		return dataset.Replicate{}, err
+	}
+	return reps[0], nil
+}

@@ -1,0 +1,119 @@
+package tree
+
+import (
+	"fmt"
+
+	"frac/internal/binio"
+	"frac/internal/dataset"
+)
+
+// Serialization of trained trees (model persistence).
+
+func encodeSchema(w *binio.Writer, s dataset.Schema) {
+	w.Int(len(s))
+	for _, f := range s {
+		w.String(f.Name)
+		w.U64(uint64(f.Kind))
+		w.Int(f.Arity)
+	}
+}
+
+func decodeSchema(r *binio.Reader) dataset.Schema {
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > binio.MaxSliceLen {
+		return nil
+	}
+	s := make(dataset.Schema, n)
+	for i := range s {
+		s[i].Name = r.String()
+		s[i].Kind = dataset.Kind(r.U64())
+		s[i].Arity = r.Int()
+	}
+	return s
+}
+
+func (t *tree) encode(w *binio.Writer) {
+	encodeSchema(w, t.inputs)
+	w.Int(len(t.nodes))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		w.Int(n.feature)
+		w.F64(n.threshold)
+		w.Int(n.category)
+		w.Bool(n.missingLeft)
+		w.Int(int(n.left))
+		w.Int(int(n.right))
+		w.Int(n.label)
+		w.F64(n.value)
+	}
+}
+
+func decodeTree(r *binio.Reader) (tree, error) {
+	var t tree
+	t.inputs = decodeSchema(r)
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return t, err
+	}
+	if n < 1 || n > binio.MaxSliceLen {
+		return t, fmt.Errorf("tree: implausible node count %d", n)
+	}
+	t.nodes = make([]node, n)
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		nd.feature = r.Int()
+		nd.threshold = r.F64()
+		nd.category = r.Int()
+		nd.missingLeft = r.Bool()
+		nd.left = int32(r.Int())
+		nd.right = int32(r.Int())
+		nd.label = r.Int()
+		nd.value = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return t, err
+	}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.feature >= len(t.inputs) {
+			return t, fmt.Errorf("tree: node %d feature %d out of schema", i, nd.feature)
+		}
+		if nd.feature >= 0 && (int(nd.left) >= n || int(nd.right) >= n || nd.left < 0 || nd.right < 0) {
+			return t, fmt.Errorf("tree: node %d child out of range", i)
+		}
+	}
+	return t, nil
+}
+
+// Encode serializes the classifier.
+func (c *Classifier) Encode(w *binio.Writer) {
+	w.Int(c.Arity)
+	c.encode(w)
+}
+
+// DecodeClassifier reads a classifier serialized with Encode.
+func DecodeClassifier(r *binio.Reader) (*Classifier, error) {
+	arity := r.Int()
+	t, err := decodeTree(r)
+	if err != nil {
+		return nil, err
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("tree: decoded arity %d", arity)
+	}
+	return &Classifier{tree: t, Arity: arity}, nil
+}
+
+// Encode serializes the regressor.
+func (rg *Regressor) Encode(w *binio.Writer) {
+	rg.encode(w)
+}
+
+// DecodeRegressor reads a regressor serialized with Encode.
+func DecodeRegressor(r *binio.Reader) (*Regressor, error) {
+	t, err := decodeTree(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Regressor{tree: t}, nil
+}

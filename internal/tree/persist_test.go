@@ -1,0 +1,113 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frac/internal/binio"
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+func TestClassifierPersistRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	n := 120
+	x := newMixedMatrix(n, src)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0) > 0 || int(x.At(i, 1)) == 2 {
+			y[i] = 1
+		}
+	}
+	c := TrainClassifier(x, mixedInputSchema(), y, 2, Params{})
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	c.Encode(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClassifier(binio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if c.PredictLabel(x.Row(i)) != got.PredictLabel(x.Row(i)) {
+			t.Fatal("decoded classifier predicts differently")
+		}
+	}
+	// Missing-value routing must survive the round trip.
+	probe := []float64{dataset.Missing, dataset.Missing}
+	if c.PredictLabel(probe) != got.PredictLabel(probe) {
+		t.Fatal("missing routing changed")
+	}
+}
+
+func TestRegressorPersistRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	n := 100
+	x := newMixedMatrix(n, src)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = 3*x.At(i, 0) + float64(int(x.At(i, 1)))
+	}
+	r := TrainRegressor(x, mixedInputSchema(), y, Params{})
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	r.Encode(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRegressor(binio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if r.Predict(x.Row(i)) != got.Predict(x.Row(i)) {
+			t.Fatal("decoded regressor predicts differently")
+		}
+	}
+	if r.NumNodes() != got.NumNodes() || r.Depth() != got.Depth() {
+		t.Fatal("structure changed in round trip")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	if _, err := DecodeClassifier(binio.NewReader(strings.NewReader("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A valid encoding, truncated.
+	src := rng.New(3)
+	x := newMixedMatrix(40, src)
+	y := make([]int, 40)
+	for i := range y {
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	c := TrainClassifier(x, mixedInputSchema(), y, 2, Params{})
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	c.Encode(w)
+	full := buf.Bytes()
+	if _, err := DecodeClassifier(binio.NewReader(bytes.NewReader(full[:len(full)/2]))); err == nil {
+		t.Error("truncated tree accepted")
+	}
+}
+
+func mixedInputSchema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "r", Kind: dataset.Real},
+		{Name: "c", Kind: dataset.Categorical, Arity: 3},
+	}
+}
+
+func newMixedMatrix(n int, src *rng.Source) *linalg.Matrix {
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		x.Row(i)[0] = src.Norm()
+		x.Row(i)[1] = float64(src.IntN(3))
+	}
+	return x
+}

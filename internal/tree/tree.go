@@ -1,0 +1,130 @@
+// Package tree implements entropy-minimizing classification trees and
+// variance-minimizing regression trees from scratch, substituting for the
+// Waffles decision trees the paper uses on discrete SNP data (§III.B).
+//
+// Trees accept mixed input schemas: real inputs split on thresholds,
+// categorical inputs split on single-category membership. Missing input
+// values are routed down the branch that received the majority of the
+// node's training samples, so both training and prediction tolerate the
+// undefined values FRaC's formula allows.
+package tree
+
+import (
+	"fmt"
+
+	"frac/internal/dataset"
+)
+
+// Params configures tree induction.
+type Params struct {
+	// MaxDepth bounds tree depth. <= 0 selects 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf. <= 0 selects 2.
+	MinLeaf int
+	// MinGain is the minimum impurity reduction to accept a split.
+	// <= 0 selects 1e-9.
+	MinGain float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	if p.MinGain <= 0 {
+		p.MinGain = 1e-9
+	}
+	return p
+}
+
+// node is one tree node in the flattened node array.
+type node struct {
+	// feature is the split feature; -1 marks a leaf.
+	feature int
+	// threshold applies to real splits: x < threshold goes left.
+	threshold float64
+	// category applies to categorical splits (category >= 0):
+	// x == category goes left.
+	category int
+	// missingLeft routes missing values.
+	missingLeft bool
+	left, right int32
+	// leaf payloads
+	label int     // classification majority class
+	value float64 // regression mean
+}
+
+// tree is the shared walk structure.
+type tree struct {
+	nodes  []node
+	inputs dataset.Schema
+}
+
+// walk descends from the root to a leaf for sample x.
+func (t *tree) walk(x []float64) *node {
+	if len(x) != len(t.inputs) {
+		panic(fmt.Sprintf("tree: sample has %d features, schema has %d", len(x), len(t.inputs)))
+	}
+	cur := &t.nodes[0]
+	for cur.feature >= 0 {
+		v := x[cur.feature]
+		var goLeft bool
+		switch {
+		case dataset.IsMissing(v):
+			goLeft = cur.missingLeft
+		case cur.category >= 0:
+			goLeft = int(v) == cur.category
+		default:
+			goLeft = v < cur.threshold
+		}
+		if goLeft {
+			cur = &t.nodes[cur.left]
+		} else {
+			cur = &t.nodes[cur.right]
+		}
+	}
+	return cur
+}
+
+// NumNodes reports the node count (leaves included).
+func (t *tree) NumNodes() int { return len(t.nodes) }
+
+// Depth reports the maximum root-to-leaf depth (0 for a lone leaf).
+func (t *tree) Depth() int {
+	var rec func(i int32, d int) int
+	rec = func(i int32, d int) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return d
+		}
+		l := rec(n.left, d+1)
+		r := rec(n.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return rec(0, 0)
+}
+
+// Bytes reports the analytic footprint of the node array.
+func (t *tree) Bytes() int64 { return int64(len(t.nodes)) * 64 }
+
+// Classifier is a trained classification tree over labels [0, Arity).
+type Classifier struct {
+	tree
+	Arity int
+}
+
+// PredictLabel returns the majority class of the leaf x lands in.
+func (c *Classifier) PredictLabel(x []float64) int { return c.walk(x).label }
+
+// Regressor is a trained regression tree.
+type Regressor struct {
+	tree
+}
+
+// Predict returns the mean target of the leaf x lands in.
+func (r *Regressor) Predict(x []float64) float64 { return r.walk(x).value }
