@@ -26,6 +26,7 @@ func benchOptions() eval.Options {
 }
 
 func BenchmarkTable1Profiles(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if rows := eval.Table1(o); len(rows) != 8 {
@@ -50,6 +51,7 @@ func fullRuns(b *testing.B) []eval.Table2Row {
 }
 
 func BenchmarkTable2FullFRaC(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := eval.Table2(o)
@@ -61,6 +63,7 @@ func BenchmarkTable2FullFRaC(b *testing.B) {
 }
 
 func BenchmarkTable3Variants(b *testing.B) {
+	b.ReportAllocs()
 	full := fullRuns(b)
 	o := benchOptions()
 	b.ResetTimer()
@@ -72,6 +75,7 @@ func BenchmarkTable3Variants(b *testing.B) {
 }
 
 func BenchmarkTable4Diverse(b *testing.B) {
+	b.ReportAllocs()
 	full := fullRuns(b)
 	o := benchOptions()
 	b.ResetTimer()
@@ -83,6 +87,7 @@ func BenchmarkTable4Diverse(b *testing.B) {
 }
 
 func BenchmarkTable5Schizophrenia(b *testing.B) {
+	b.ReportAllocs()
 	full := fullRuns(b)
 	o := benchOptions()
 	b.ResetTimer()
@@ -94,6 +99,7 @@ func BenchmarkTable5Schizophrenia(b *testing.B) {
 }
 
 func BenchmarkFig1Wiring(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		eval.Fig1(o)
@@ -101,6 +107,7 @@ func BenchmarkFig1Wiring(b *testing.B) {
 }
 
 func BenchmarkFig2Preprocessing(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.Fig2(o); err != nil {
@@ -110,6 +117,7 @@ func BenchmarkFig2Preprocessing(b *testing.B) {
 }
 
 func BenchmarkFig3JLSweep(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.Fig3(o); err != nil {
@@ -119,6 +127,7 @@ func BenchmarkFig3JLSweep(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	full := fullRuns(b)
 	o := benchOptions()
 	b.ResetTimer()
@@ -130,6 +139,7 @@ func BenchmarkAblations(b *testing.B) {
 }
 
 func BenchmarkBaselines(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.Baselines(o); err != nil {
@@ -159,6 +169,7 @@ func benchReplicate(b *testing.B) frac.Replicate {
 }
 
 func BenchmarkFullFRaCRun(b *testing.B) {
+	b.ReportAllocs()
 	rep := benchReplicate(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -169,7 +180,39 @@ func BenchmarkFullFRaCRun(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreDataset isolates the scoring hot path: one trained model
+// scoring the full test replicate repeatedly.
+func BenchmarkScoreDataset(b *testing.B) {
+	b.ReportAllocs()
+	rep := benchReplicate(b)
+	model, err := frac.Train(rep.Train, frac.FullTerms(rep.Train.NumFeatures()), frac.Config{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.ScoreDataset(rep.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainTerm isolates single-term training (gather + CV folds +
+// final fit) by training a one-term model.
+func BenchmarkTrainTerm(b *testing.B) {
+	b.ReportAllocs()
+	rep := benchReplicate(b)
+	terms := frac.FullTerms(rep.Train.NumFeatures())[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := frac.Train(rep.Train, terms, frac.Config{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFilteredRun(b *testing.B) {
+	b.ReportAllocs()
 	rep := benchReplicate(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -181,6 +224,7 @@ func BenchmarkFilteredRun(b *testing.B) {
 }
 
 func BenchmarkDiverseRun(b *testing.B) {
+	b.ReportAllocs()
 	rep := benchReplicate(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -192,6 +236,7 @@ func BenchmarkDiverseRun(b *testing.B) {
 }
 
 func BenchmarkJLRun(b *testing.B) {
+	b.ReportAllocs()
 	rep := benchReplicate(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

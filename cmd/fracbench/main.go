@@ -8,13 +8,55 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"frac/internal/eval"
 )
+
+// exhibitCost is one BENCH_results.json entry: the wall time and allocator
+// traffic of regenerating one exhibit ("op" = one full regeneration).
+type exhibitCost struct {
+	NsPerOp     int64  `json:"ns_op"`
+	AllocsPerOp uint64 `json:"allocs_op"`
+	BytesPerOp  uint64 `json:"bytes_op"`
+}
+
+// benchResults accumulates exhibit costs in run order for the perf
+// trajectory the repo's BENCH_*.json files track across PRs.
+var benchResults = map[string]exhibitCost{}
+
+// measured wraps an exhibit regeneration with wall-clock and allocator
+// accounting.
+func measured(name string, fn func() error) error {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	benchResults[name] = exhibitCost{
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}
+	return err
+}
+
+func writeBenchResults(path string) error {
+	if path == "" || len(benchResults) == 0 {
+		return nil
+	}
+	blob, err := json.MarshalIndent(benchResults, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
 
 func main() {
 	opts := eval.Options{Out: os.Stdout}
@@ -28,6 +70,8 @@ func main() {
 	flag.Float64Var(&opts.DiverseEnsembleP, "diverse-ensemble-p", 1.0/20, "diverse ensemble member probability")
 	flag.IntVar(&opts.JLDim, "jl-dim", 1024, "JL dimension at paper scale (divided by -scale)")
 	flag.IntVar(&opts.JLRepeats, "jl-repeats", 10, "independent projections per JL point")
+	benchJSON := flag.String("bench-json", "BENCH_results.json",
+		"write per-exhibit ns/op, allocs/op, bytes/op to this file (empty disables)")
 	flag.Parse()
 	opts.Seed = *seed
 
@@ -40,15 +84,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeBenchResults(*benchJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "fracbench: writing %s: %v\n", *benchJSON, err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "fracbench: %s completed in %v\n", cmd, time.Since(start).Round(time.Millisecond))
 }
 
 func run(cmd string, opts eval.Options) error {
-	needTable2 := func() ([]eval.Table2Row, error) { return eval.Table2(opts) }
+	needTable2 := func() (full []eval.Table2Row, err error) {
+		err = measured("table2", func() error {
+			full, err = eval.Table2(opts)
+			return err
+		})
+		return full, err
+	}
+	table1 := func() error {
+		return measured("table1", func() error { eval.Table1(opts); return nil })
+	}
+	fig1 := func() error {
+		return measured("fig1", func() error { eval.Fig1(opts); return nil })
+	}
+	fig2 := func() error {
+		return measured("fig2", func() error { _, err := eval.Fig2(opts); return err })
+	}
+	fig3 := func() error {
+		return measured("fig3", func() error { _, err := eval.Fig3(opts); return err })
+	}
+	baselines := func() error {
+		return measured("baselines", func() error { _, err := eval.Baselines(opts); return err })
+	}
+	interpret := func() error {
+		return measured("interpret", func() error { _, err := eval.Interpretation(opts); return err })
+	}
+	table3 := func(full []eval.Table2Row) error {
+		return measured("table3", func() error { _, err := eval.Table3(full, opts); return err })
+	}
+	table4 := func(full []eval.Table2Row) error {
+		return measured("table4", func() error { _, err := eval.Table4(full, opts); return err })
+	}
+	table5 := func(full []eval.Table2Row) error {
+		return measured("table5", func() error { _, err := eval.Table5(full, opts); return err })
+	}
+	ablations := func(full []eval.Table2Row) error {
+		return measured("ablations", func() error { _, err := eval.Ablations(full, opts); return err })
+	}
 	switch cmd {
 	case "table1":
-		eval.Table1(opts)
-		return nil
+		return table1()
 	case "table2":
 		_, err := needTable2()
 		return err
@@ -57,74 +140,68 @@ func run(cmd string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		_, err = eval.Table3(full, opts)
-		return err
+		return table3(full)
 	case "table4":
 		full, err := needTable2()
 		if err != nil {
 			return err
 		}
-		_, err = eval.Table4(full, opts)
-		return err
+		return table4(full)
 	case "table5":
 		full, err := needTable2()
 		if err != nil {
 			return err
 		}
-		_, err = eval.Table5(full, opts)
-		return err
+		return table5(full)
 	case "ablations":
 		full, err := needTable2()
 		if err != nil {
 			return err
 		}
-		_, err = eval.Ablations(full, opts)
-		return err
+		return ablations(full)
 	case "baselines":
-		_, err := eval.Baselines(opts)
-		return err
+		return baselines()
 	case "interpret":
-		_, err := eval.Interpretation(opts)
-		return err
+		return interpret()
 	case "fig1":
-		eval.Fig1(opts)
-		return nil
+		return fig1()
 	case "fig2":
-		_, err := eval.Fig2(opts)
-		return err
+		return fig2()
 	case "fig3":
-		_, err := eval.Fig3(opts)
-		return err
+		return fig3()
 	case "all":
-		eval.Table1(opts)
+		if err := table1(); err != nil {
+			return err
+		}
 		full, err := needTable2()
 		if err != nil {
 			return err
 		}
-		if _, err := eval.Table3(full, opts); err != nil {
+		if err := table3(full); err != nil {
 			return err
 		}
-		if _, err := eval.Table4(full, opts); err != nil {
+		if err := table4(full); err != nil {
 			return err
 		}
-		if _, err := eval.Table5(full, opts); err != nil {
+		if err := table5(full); err != nil {
 			return err
 		}
-		eval.Fig1(opts)
-		if _, err := eval.Fig2(opts); err != nil {
+		if err := fig1(); err != nil {
 			return err
 		}
-		if _, err := eval.Fig3(opts); err != nil {
+		if err := fig2(); err != nil {
 			return err
 		}
-		if _, err := eval.Ablations(full, opts); err != nil {
+		if err := fig3(); err != nil {
 			return err
 		}
-		if _, err := eval.Baselines(opts); err != nil {
+		if err := ablations(full); err != nil {
 			return err
 		}
-		_, err = eval.Interpretation(opts)
-		return err
+		if err := baselines(); err != nil {
+			return err
+		}
+		return interpret()
 	default:
 		return fmt.Errorf("unknown subcommand %q (want table1..table5, fig1..fig3, all)", cmd)
 	}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+)
+
+// TestScoreTermZeroAllocs guards the zero-allocation contract of the
+// per-sample scoring hot path: after the pooled buffers warm up, ScoreTerm
+// must not allocate, for SVR terms and tree terms alike.
+func TestScoreTermZeroAllocs(t *testing.T) {
+	train, test := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := test.Sample(0)
+	for ti := 0; ti < model.NumTerms(); ti++ {
+		model.ScoreTerm(ti, sample) // warm up the pools
+		allocs := testing.AllocsPerRun(100, func() {
+			model.ScoreTerm(ti, sample)
+		})
+		if allocs != 0 {
+			t.Errorf("ScoreTerm(%d) allocates %.1f per call, want 0", ti, allocs)
+		}
+	}
+}
+
+// TestPredictBatchZeroAllocs asserts the batch prediction paths of every
+// trained predictor kind allocate nothing after warm-up.
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	train, test := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := test.NumSamples()
+	preds := make([]float64, n)
+	labels := make([]int, n)
+	for ti := range model.terms {
+		tm := &model.terms[ti]
+		in := linalg.NewMatrix(n, len(tm.term.Inputs))
+		for s := 0; s < n; s++ {
+			src := test.Sample(s)
+			dst := in.Row(s)
+			for j, c := range tm.term.Inputs {
+				dst[j] = src[c]
+			}
+		}
+		var allocs float64
+		if tm.isCat {
+			tm.cat.PredictLabelBatch(in, labels)
+			allocs = testing.AllocsPerRun(50, func() {
+				tm.cat.PredictLabelBatch(in, labels)
+			})
+		} else {
+			tm.real.PredictBatch(in, preds)
+			allocs = testing.AllocsPerRun(50, func() {
+				tm.real.PredictBatch(in, preds)
+			})
+		}
+		if allocs != 0 {
+			t.Errorf("term %d (%T) batch predict allocates %.1f per batch, want 0", ti, predictorOf(tm), allocs)
+		}
+	}
+}
+
+func predictorOf(tm *termModel) any {
+	if tm.isCat {
+		return tm.cat
+	}
+	return tm.real
+}
+
+// TestBatchMatchesPerSamplePrediction pins the batch path to the per-sample
+// path bit for bit: ScoreDataset's batched scores must equal looping
+// ScoreTerm over every sample.
+func TestBatchMatchesPerSamplePrediction(t *testing.T) {
+	train, test := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := model.ScoreDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < model.NumTerms(); ti++ {
+		for s := 0; s < test.NumSamples(); s++ {
+			batch := ss.PerTerm.At(ti, s)
+			single := model.ScoreTerm(ti, test.Sample(s))
+			if batch != single {
+				t.Errorf("term %d sample %d: batch %v != per-sample %v", ti, s, batch, single)
+			}
+		}
+	}
+}
+
+// TestImputeVecReusesBuffer guards the live dst reuse path: a buffer with
+// capacity must be reused, a short one must be replaced.
+func TestImputeVecReusesBuffer(t *testing.T) {
+	x := []float64{1, dataset.Missing, 3}
+	means := []float64{10, 20, 30}
+	buf := make([]float64, 3)
+	out := imputeVec(x, means, buf)
+	if &out[0] != &buf[0] {
+		t.Error("imputeVec did not reuse a sufficient dst")
+	}
+	if out[0] != 1 || out[1] != 20 || out[2] != 3 {
+		t.Errorf("imputeVec = %v", out)
+	}
+	short := make([]float64, 1)
+	out = imputeVec(x, means, short)
+	if len(out) != 3 {
+		t.Errorf("imputeVec len = %d, want 3", len(out))
+	}
+}

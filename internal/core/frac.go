@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"frac/internal/dataset"
 	"frac/internal/linalg"
@@ -44,6 +46,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinObserved <= 0 {
 		c.MinObserved = 6
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -89,6 +94,10 @@ type Model struct {
 	cfg    Config
 	schema dataset.Schema
 	terms  []termModel
+
+	// inBufs pools ScoreTerm's input-gather buffers so per-sample scoring
+	// is allocation-free in steady state under concurrent callers.
+	inBufs sync.Pool // *[]float64
 }
 
 // Train fits a FRaC model over the given term wiring. The training set must
@@ -107,24 +116,26 @@ func Train(train *dataset.Dataset, terms []Term, cfg Config) (*Model, error) {
 	root := rng.New(cfg.Seed)
 	var firstErr error
 	errs := make([]error, len(terms))
-	parallel.ForWorkers(len(terms), cfg.Workers, func(ti int) {
-		task := func() {
-			tm, err := trainTerm(train, terms[ti], cfg, root.StreamN("term", ti))
-			if err != nil {
-				errs[ti] = err
-				return
+	parallel.ForWorkersWithState(len(terms), cfg.Workers,
+		func(int) *trainScratch { return new(trainScratch) },
+		func(ti int, sc *trainScratch) {
+			task := func() {
+				tm, err := trainTerm(train, terms[ti], cfg, root.StreamN("term", ti), sc)
+				if err != nil {
+					errs[ti] = err
+					return
+				}
+				m.terms[ti] = tm
+				if cfg.Tracker != nil {
+					cfg.Tracker.Alloc(tm.bytes())
+				}
 			}
-			m.terms[ti] = tm
 			if cfg.Tracker != nil {
-				cfg.Tracker.Alloc(tm.bytes())
+				cfg.Tracker.TimeTask(task)
+			} else {
+				task()
 			}
-		}
-		if cfg.Tracker != nil {
-			cfg.Tracker.TimeTask(task)
-		} else {
-			task()
-		}
-	})
+		})
 	for _, err := range errs {
 		if err != nil {
 			firstErr = err
@@ -164,55 +175,146 @@ func (m *Model) Bytes() int64 {
 // NumTerms reports the number of NS summands.
 func (m *Model) NumTerms() int { return len(m.terms) }
 
-// trainTerm fits one NS summand.
-func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source) (termModel, error) {
+// trainScratch is the reusable per-worker state of Train: one worker
+// processes many terms and reuses these buffers for every gather, fold
+// complement, and fold-view copy, so training one term allocates only what
+// the trained model retains. Nothing stored here may outlive a term —
+// learners receive scratch-backed matrices and must not retain them (see
+// DESIGN.md "Performance notes").
+type trainScratch struct {
+	rows []int // observed row indices for the current target
+	yF   []float64
+	yI   []int
+
+	x *linalg.Matrix // gathered term matrix (all observed rows)
+
+	foldX  *linalg.Matrix // fold-view training matrix (current fold only)
+	foldYF []float64
+	foldYI []int
+	idx    []int  // complement (training-row) indices of the current fold
+	mark   []bool // fold membership marks
+}
+
+// gather copies the input columns of the selected rows into the scratch
+// matrix, preserving NaN missing markers.
+func (sc *trainScratch) gather(train *dataset.Dataset, rows, inputs []int) *linalg.Matrix {
+	sc.x = linalg.Resize(sc.x, len(rows), len(inputs))
+	for i, r := range rows {
+		src := train.Sample(r)
+		dst := sc.x.Row(i)
+		for j, c := range inputs {
+			dst[j] = src[c]
+		}
+	}
+	return sc.x
+}
+
+// complement returns the indices of [0, n) not in exclude, reusing the
+// scratch mark and index buffers.
+func (sc *trainScratch) complement(n int, exclude []int) []int {
+	if cap(sc.mark) < n {
+		sc.mark = make([]bool, n)
+	}
+	mark := sc.mark[:n]
+	for i := range mark {
+		mark[i] = false
+	}
+	for _, e := range exclude {
+		mark[e] = true
+	}
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, 0, n)
+	}
+	idx := sc.idx[:0]
+	for i := 0; i < n; i++ {
+		if !mark[i] {
+			idx = append(idx, i)
+		}
+	}
+	sc.idx = idx
+	return idx
+}
+
+// foldView copies the selected rows of the gathered matrix into the
+// fold-local training matrix. One buffer serves every fold of every term a
+// worker handles, so CV costs one gather plus row copies instead of
+// CVFolds+1 fresh matrices.
+func (sc *trainScratch) foldView(x *linalg.Matrix, rows []int) *linalg.Matrix {
+	sc.foldX = linalg.Resize(sc.foldX, len(rows), x.Cols)
+	for i, r := range rows {
+		copy(sc.foldX.Row(i), x.Row(r))
+	}
+	return sc.foldX
+}
+
+func subFloatsInto(dst []float64, y []float64, idx []int) []float64 {
+	if cap(dst) < len(idx) {
+		dst = make([]float64, len(idx))
+	}
+	dst = dst[:len(idx)]
+	for i, r := range idx {
+		dst[i] = y[r]
+	}
+	return dst
+}
+
+func subIntsInto(dst []int, y []int, idx []int) []int {
+	if cap(dst) < len(idx) {
+		dst = make([]int, len(idx))
+	}
+	dst = dst[:len(idx)]
+	for i, r := range idx {
+		dst[i] = y[r]
+	}
+	return dst
+}
+
+// trainTerm fits one NS summand using the worker's scratch buffers.
+func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source, sc *trainScratch) (termModel, error) {
 	feat := train.Schema[term.Target]
 	tm := termModel{term: term, isCat: feat.Kind == dataset.Categorical, arity: feat.Arity}
 
 	// Observed training rows for this target.
-	var rows []int
+	rows := sc.rows[:0]
 	for i := 0; i < train.NumSamples(); i++ {
 		if !dataset.IsMissing(train.X.At(i, term.Target)) {
 			rows = append(rows, i)
 		}
 	}
+	sc.rows = rows
 	if tm.isCat {
-		y := make([]int, len(rows))
+		y := sc.yI
+		if cap(y) < len(rows) {
+			y = make([]int, len(rows))
+		}
+		y = y[:len(rows)]
 		for i, r := range rows {
 			y[i] = int(train.X.At(r, term.Target))
 		}
+		sc.yI = y
 		tm.entropy = stats.ShannonEntropy(y, feat.Arity)
-		trainCatTerm(&tm, train, term, rows, y, cfg, src)
+		trainCatTerm(&tm, train, term, rows, y, cfg, src, sc)
 	} else {
-		y := make([]float64, len(rows))
+		y := sc.yF
+		if cap(y) < len(rows) {
+			y = make([]float64, len(rows))
+		}
+		y = y[:len(rows)]
 		for i, r := range rows {
 			y[i] = train.X.At(r, term.Target)
 		}
+		sc.yF = y
 		tm.entropy = continuousEntropy(y, cfg.Entropy)
-		trainRealTerm(&tm, train, term, rows, y, cfg, src)
+		trainRealTerm(&tm, train, term, rows, y, cfg, src, sc)
 	}
 	return tm, nil
 }
 
-// gather copies the input columns of the selected rows into a fresh matrix,
-// preserving NaN missing markers, and reports its transient footprint to the
-// tracker for peak accounting.
-func gather(train *dataset.Dataset, rows, inputs []int) *linalg.Matrix {
-	x := linalg.NewMatrix(len(rows), len(inputs))
-	for i, r := range rows {
-		src := train.Sample(r)
-		dst := x.Row(i)
-		for j, c := range inputs {
-			dst[j] = src[c]
-		}
-	}
-	return x
-}
-
-func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []float64, cfg Config, src *rng.Source) {
+func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []float64, cfg Config, src *rng.Source, sc *trainScratch) {
 	useMarginal := len(rows) < cfg.MinObserved || len(term.Inputs) == 0
 	if useMarginal {
 		tm.real = marginalRealPredictor(y)
+		// Freshly allocated: the KDE error model retains its residuals.
 		resid := make([]float64, len(y))
 		mean := stats.Mean(y)
 		for i, v := range y {
@@ -222,7 +324,7 @@ func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int,
 		return
 	}
 	inputSchema := train.Schema.Select(term.Inputs)
-	x := gather(train, rows, term.Inputs)
+	x := sc.gather(train, rows, term.Inputs)
 	if cfg.Tracker != nil {
 		cfg.Tracker.Alloc(x.Bytes())
 		defer cfg.Tracker.Release(x.Bytes())
@@ -231,12 +333,13 @@ func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int,
 	folds := dataset.KFold(len(rows), cfg.CVFolds, src)
 	residuals := make([]float64, 0, len(rows))
 	for fi, fold := range folds {
-		trIdx := complementIndices(len(rows), fold)
+		trIdx := sc.complement(len(rows), fold)
 		if len(trIdx) == 0 || len(fold) == 0 {
 			continue
 		}
-		xTr, yTr := subMatrix(x, trIdx), subFloats(y, trIdx)
-		p := cfg.Learners.Real(xTr, inputSchema, yTr, src.Seed()^uint64(fi+1))
+		xTr := sc.foldView(x, trIdx)
+		sc.foldYF = subFloatsInto(sc.foldYF, y, trIdx)
+		p := cfg.Learners.Real(xTr, inputSchema, sc.foldYF, src.Seed()^uint64(fi+1))
 		for _, h := range fold {
 			residuals = append(residuals, y[h]-p.Predict(x.Row(h)))
 		}
@@ -248,7 +351,7 @@ func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int,
 	tm.real = cfg.Learners.Real(x, inputSchema, y, src.Seed())
 }
 
-func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []int, cfg Config, src *rng.Source) {
+func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []int, cfg Config, src *rng.Source, sc *trainScratch) {
 	conf := stats.NewConfusion(tm.arity)
 	useMarginal := len(rows) < cfg.MinObserved || len(term.Inputs) == 0
 	if useMarginal {
@@ -260,19 +363,20 @@ func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, 
 		return
 	}
 	inputSchema := train.Schema.Select(term.Inputs)
-	x := gather(train, rows, term.Inputs)
+	x := sc.gather(train, rows, term.Inputs)
 	if cfg.Tracker != nil {
 		cfg.Tracker.Alloc(x.Bytes())
 		defer cfg.Tracker.Release(x.Bytes())
 	}
 	folds := dataset.KFold(len(rows), cfg.CVFolds, src)
 	for fi, fold := range folds {
-		trIdx := complementIndices(len(rows), fold)
+		trIdx := sc.complement(len(rows), fold)
 		if len(trIdx) == 0 || len(fold) == 0 {
 			continue
 		}
-		xTr, yTr := subMatrix(x, trIdx), subInts(y, trIdx)
-		p := cfg.Learners.Cat(xTr, inputSchema, yTr, tm.arity, src.Seed()^uint64(fi+1))
+		xTr := sc.foldView(x, trIdx)
+		sc.foldYI = subIntsInto(sc.foldYI, y, trIdx)
+		p := cfg.Learners.Cat(xTr, inputSchema, sc.foldYI, tm.arity, src.Seed()^uint64(fi+1))
 		for _, h := range fold {
 			conf.Add(y[h], p.PredictLabel(x.Row(h)))
 		}
@@ -281,74 +385,60 @@ func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, 
 	tm.cat = cfg.Learners.Cat(x, inputSchema, y, tm.arity, src.Seed())
 }
 
-func complementIndices(n int, exclude []int) []int {
-	mark := make([]bool, n)
-	for _, e := range exclude {
-		mark[e] = true
-	}
-	out := make([]int, 0, n-len(exclude))
-	for i := 0; i < n; i++ {
-		if !mark[i] {
-			out = append(out, i)
+// scoreCat converts an observed categorical value and its prediction into
+// the term's NS contribution.
+func (tm *termModel) scoreCat(v float64, pred int) float64 {
+	label := int(v)
+	if float64(label) != v || label < 0 || label >= tm.arity {
+		// A category never declared in the schema is maximally
+		// surprising: use the least likely class under this prediction.
+		worst := 0.0
+		for c := 0; c < tm.arity; c++ {
+			if s := tm.catErr.Surprisal(c, pred); s > worst {
+				worst = s
+			}
 		}
+		return worst - tm.entropy
 	}
-	return out
+	return tm.catErr.Surprisal(label, pred) - tm.entropy
 }
 
-func subMatrix(x *linalg.Matrix, rows []int) *linalg.Matrix {
-	out := linalg.NewMatrix(len(rows), x.Cols)
-	for i, r := range rows {
-		copy(out.Row(i), x.Row(r))
-	}
-	return out
-}
-
-func subFloats(y []float64, idx []int) []float64 {
-	out := make([]float64, len(idx))
-	for i, r := range idx {
-		out[i] = y[r]
-	}
-	return out
-}
-
-func subInts(y []int, idx []int) []int {
-	out := make([]int, len(idx))
-	for i, r := range idx {
-		out[i] = y[r]
-	}
-	return out
+// scoreReal converts an observed continuous value and its prediction into
+// the term's NS contribution.
+func (tm *termModel) scoreReal(v, pred float64) float64 {
+	return tm.realErr.Surprisal(v-pred) - tm.entropy
 }
 
 // ScoreTerm returns the NS contribution of term ti for one sample (0 when
-// the target value is missing, per the paper's formula).
+// the target value is missing, per the paper's formula). Steady-state it
+// performs zero allocations: the input-gather buffer is pooled on the model.
 func (m *Model) ScoreTerm(ti int, sample []float64) float64 {
 	tm := &m.terms[ti]
 	v := sample[tm.term.Target]
 	if dataset.IsMissing(v) {
 		return 0
 	}
-	inputs := make([]float64, len(tm.term.Inputs))
+	bp, _ := m.inBufs.Get().(*[]float64)
+	if bp == nil {
+		bp = new([]float64)
+	}
+	inputs := *bp
+	if cap(inputs) < len(tm.term.Inputs) {
+		inputs = make([]float64, len(tm.term.Inputs))
+	}
+	inputs = inputs[:len(tm.term.Inputs)]
 	for j, c := range tm.term.Inputs {
 		inputs[j] = sample[c]
 	}
+	var score float64
 	if tm.isCat {
-		pred := tm.cat.PredictLabel(inputs)
-		label := int(v)
-		if float64(label) != v || label < 0 || label >= tm.arity {
-			// A category never declared in the schema is maximally
-			// surprising: use the least likely class under this prediction.
-			worst := 0.0
-			for c := 0; c < tm.arity; c++ {
-				if s := tm.catErr.Surprisal(c, pred); s > worst {
-					worst = s
-				}
-			}
-			return worst - tm.entropy
-		}
-		return tm.catErr.Surprisal(label, pred) - tm.entropy
+		score = tm.scoreCat(v, tm.cat.PredictLabel(inputs))
+	} else {
+		score = tm.scoreReal(v, tm.real.Predict(inputs))
 	}
-	pred := tm.real.Predict(inputs)
-	return tm.realErr.Surprisal(v-pred) - tm.entropy
+	*bp = inputs
+	m.inBufs.Put(bp)
+	return score
 }
 
 // Score returns the total normalized surprisal of a sample: higher means
@@ -381,8 +471,61 @@ func (s *ScoreSet) Totals() []float64 {
 	return out
 }
 
+// scoreWorkspace is the reusable per-worker state of ScoreDataset: the
+// sample-major input gather matrix and the batch prediction outputs, shared
+// by every term a worker scores.
+type scoreWorkspace struct {
+	in     *linalg.Matrix
+	preds  []float64
+	labels []int
+}
+
+// scoreTermBatch scores every test sample against term ti into row using the
+// batch prediction path.
+func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws *scoreWorkspace) {
+	tm := &m.terms[ti]
+	n := test.NumSamples()
+	ws.in = linalg.Resize(ws.in, n, len(tm.term.Inputs))
+	for s := 0; s < n; s++ {
+		src := test.Sample(s)
+		dst := ws.in.Row(s)
+		for j, c := range tm.term.Inputs {
+			dst[j] = src[c]
+		}
+	}
+	if tm.isCat {
+		if cap(ws.labels) < n {
+			ws.labels = make([]int, n)
+		}
+		labels := ws.labels[:n]
+		tm.cat.PredictLabelBatch(ws.in, labels)
+		for s := 0; s < n; s++ {
+			if v := test.X.At(s, tm.term.Target); !dataset.IsMissing(v) {
+				row[s] = tm.scoreCat(v, labels[s])
+			} else {
+				row[s] = 0
+			}
+		}
+		return
+	}
+	if cap(ws.preds) < n {
+		ws.preds = make([]float64, n)
+	}
+	preds := ws.preds[:n]
+	tm.real.PredictBatch(ws.in, preds)
+	for s := 0; s < n; s++ {
+		if v := test.X.At(s, tm.term.Target); !dataset.IsMissing(v) {
+			row[s] = tm.scoreReal(v, preds[s])
+		} else {
+			row[s] = 0
+		}
+	}
+}
+
 // ScoreDataset scores every sample of test, in parallel over terms, and
-// reports the cost into the model's tracker.
+// reports the cost into the model's tracker. Each term runs sample-major
+// through the batch prediction path, with all gather and prediction buffers
+// reused per worker.
 func (m *Model) ScoreDataset(test *dataset.Dataset) (*ScoreSet, error) {
 	if test.NumFeatures() != len(m.schema) {
 		return nil, fmt.Errorf("core: test set has %d features, model expects %d", test.NumFeatures(), len(m.schema))
@@ -392,19 +535,16 @@ func (m *Model) ScoreDataset(test *dataset.Dataset) (*ScoreSet, error) {
 	for i := range m.terms {
 		ss.Terms[i] = m.terms[i].term
 	}
-	parallel.ForWorkers(len(m.terms), m.cfg.Workers, func(ti int) {
-		task := func() {
-			row := ss.PerTerm.Row(ti)
-			for s := 0; s < test.NumSamples(); s++ {
-				row[s] = m.ScoreTerm(ti, test.Sample(s))
+	parallel.ForWorkersWithState(len(m.terms), m.cfg.Workers,
+		func(int) *scoreWorkspace { return new(scoreWorkspace) },
+		func(ti int, ws *scoreWorkspace) {
+			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws) }
+			if m.cfg.Tracker != nil {
+				m.cfg.Tracker.TimeTask(task)
+			} else {
+				task()
 			}
-		}
-		if m.cfg.Tracker != nil {
-			m.cfg.Tracker.TimeTask(task)
-		} else {
-			task()
-		}
-	})
+		})
 	return ss, nil
 }
 

@@ -285,3 +285,49 @@ func TestAUCOnStatsPackageIntegration(t *testing.T) {
 		t.Errorf("orientation broken: AUC %v", auc)
 	}
 }
+
+func TestScoreTermOutOfSchemaCategory(t *testing.T) {
+	schema := dataset.Schema{
+		{Name: "a", Kind: dataset.Categorical, Arity: 2},
+		{Name: "b", Kind: dataset.Categorical, Arity: 2},
+	}
+	train := dataset.New("train", schema, 20)
+	for i := 0; i < 20; i++ {
+		v := float64(i % 2)
+		train.Sample(i)[0] = v
+		train.Sample(i)[1] = v
+	}
+	cfg := Config{Seed: 5, Learners: TreeLearners(tree.Params{MinLeaf: 1})}
+	model, err := Train(train, FullTerms(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSchema := model.ScoreTerm(1, []float64{1, 1})
+	// A label outside [0, arity) must take the worst-case surprisal: at
+	// least as surprising as any declared label, for integral and
+	// non-integral values alike.
+	for _, bad := range []float64{7, -3, 1.5} {
+		got := model.ScoreTerm(1, []float64{1, bad})
+		if got < inSchema {
+			t.Errorf("out-of-schema label %v scored %v, want >= in-schema %v", bad, got, inSchema)
+		}
+		worst := model.ScoreTerm(1, []float64{1, 0}) // the never-seen declared label
+		if got != worst {
+			t.Errorf("out-of-schema label %v scored %v, want worst-case %v", bad, got, worst)
+		}
+	}
+	// The batch path must agree with the per-sample path on out-of-schema
+	// values.
+	test := dataset.New("test", schema, 2)
+	copy(test.Sample(0), []float64{1, 7})
+	copy(test.Sample(1), []float64{1, 1})
+	ss, err := model.ScoreDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if ss.PerTerm.At(1, s) != model.ScoreTerm(1, test.Sample(s)) {
+			t.Errorf("batch and per-sample disagree on sample %d", s)
+		}
+	}
+}

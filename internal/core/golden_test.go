@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/tree"
+)
+
+// goldenTrainTest builds a deterministic mixed-schema train/test pair that
+// exercises every scoring path: SVR terms, tree terms, marginal fallbacks,
+// missing inputs, and missing targets.
+func goldenTrainTest() (*dataset.Dataset, *dataset.Dataset) {
+	schema := dataset.Schema{
+		{Name: "r0", Kind: dataset.Real},
+		{Name: "r1", Kind: dataset.Real},
+		{Name: "r2", Kind: dataset.Real},
+		{Name: "c0", Kind: dataset.Categorical, Arity: 3},
+		{Name: "c1", Kind: dataset.Categorical, Arity: 2},
+	}
+	train := dataset.New("train", schema, 24)
+	// Hand-rolled LCG so the fixture never depends on library RNG evolution.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < 24; i++ {
+		s := train.Sample(i)
+		u := next()
+		s[0] = u*4 - 2
+		s[1] = 2*s[0] + 0.05*(next()-0.5)
+		s[2] = math.Sin(s[0]) + 0.1*(next()-0.5)
+		s[3] = float64(i % 3)
+		s[4] = float64((i / 3) % 2)
+		if i%7 == 0 {
+			s[2] = dataset.Missing
+		}
+		if i%11 == 0 {
+			s[3] = dataset.Missing
+		}
+	}
+	test := dataset.New("test", schema, 6)
+	for i := 0; i < 6; i++ {
+		s := test.Sample(i)
+		u := next()
+		s[0] = u*4 - 2
+		s[1] = 2 * s[0]
+		s[2] = math.Sin(s[0])
+		s[3] = float64(i % 3)
+		s[4] = float64(i % 2)
+	}
+	// One sample that violates the relationships, one with missing values,
+	// one with an out-of-schema categorical value.
+	test.Sample(1)[1] = -5
+	test.Sample(2)[2] = dataset.Missing
+	test.Sample(3)[0] = dataset.Missing
+	test.Sample(4)[3] = 7
+	return train, test
+}
+
+// goldenCases pins the exact scores of fixed-seed runs. The values are the
+// pre-optimization outputs; the zero-allocation train/score pipeline must
+// reproduce them bit for bit (same seed → identical scores).
+var goldenCases = []struct {
+	name   string
+	cfg    Config
+	scores []uint64 // math.Float64bits of each test sample's NS
+}{
+	{name: "paper-learners", cfg: Config{Seed: 42}, scores: []uint64{
+		0xc01e5eef15b7f119, // -7.592708911277691
+		0x409598978f925978, // 1382.1480086199863
+		0xc01600294a7f64a2, // -5.500157512689073
+		0x3fe68d3209a5a666, // 0.7047357738894788
+		0xc0184947c372c68e, // -6.071562818413112
+		0xc01609c072c776f1, // -5.509523194717745
+	}},
+	{name: "tree-learners-kde", cfg: Config{Seed: 7, KDEError: true, Entropy: KDEEntropy, Learners: Learners{}}, scores: []uint64{
+		0xc01832314079c5e3, // -6.049016005928453
+		0x408325455ce03e41, // 612.6588685530661
+		0xc00cb1ba365fc8f0, // -3.586780953214763
+		0xbfda1851fb5c8c14, // -0.40773438975355814
+		0xc013ebf6136ca203, // -4.980430892472671
+		0xc01230b7e65eaa8d, // -4.547576522376983
+	}},
+}
+
+func init() {
+	goldenCases[1].cfg.Learners = TreeLearners(tree.Params{MinLeaf: 1})
+}
+
+func TestGoldenScoresFixedSeed(t *testing.T) {
+	train, test := goldenTrainTest()
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(train, test, FullTerms(train.NumFeatures()), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SanityCheckScores(res.Scores); err != nil {
+				t.Fatal(err)
+			}
+			if tc.scores == nil {
+				for _, s := range res.Scores {
+					t.Logf("golden: 0x%016x, // %v", math.Float64bits(s), s)
+				}
+				t.Fatal("golden scores not recorded yet")
+			}
+			if len(res.Scores) != len(tc.scores) {
+				t.Fatalf("got %d scores, want %d", len(res.Scores), len(tc.scores))
+			}
+			for i, s := range res.Scores {
+				if math.Float64bits(s) != tc.scores[i] {
+					t.Errorf("sample %d: score %v (bits 0x%016x), want bits 0x%016x",
+						i, s, math.Float64bits(s), tc.scores[i])
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"frac/internal/dataset"
 	"frac/internal/linalg"
@@ -12,15 +13,25 @@ import (
 
 // RealPredictor predicts a continuous target from an input vector in the
 // term's input space. Implementations must tolerate missing (NaN) inputs.
+//
+// PredictBatch predicts every row of x into out[:x.Rows] without retaining
+// either argument; the rows are the batch analogue of Predict's x.
+// Implementations must be safe for concurrent Predict/PredictBatch calls and
+// must not allocate per sample in steady state (internal workspaces are
+// pooled, never fresh per call).
 type RealPredictor interface {
 	Predict(x []float64) float64
+	PredictBatch(x *linalg.Matrix, out []float64)
 	Bytes() int64
 }
 
 // CatPredictor predicts a categorical target label from an input vector in
 // the term's input space. Implementations must tolerate missing inputs.
+// PredictLabelBatch follows the same ownership and allocation contract as
+// RealPredictor.PredictBatch.
 type CatPredictor interface {
 	PredictLabel(x []float64) int
+	PredictLabelBatch(x *linalg.Matrix, out []int)
 	Bytes() int64
 }
 
@@ -87,20 +98,22 @@ func SVMLearners(svrParams svm.SVRParams, svcParams svm.SVCParams) Learners {
 // JL-projected spaces whose raw variances are much larger than 1.
 func SVRLearner(params svm.SVRParams) RealLearnerFunc {
 	return func(x *linalg.Matrix, inputs dataset.Schema, y []float64, seed uint64) RealPredictor {
-		means, clean := imputeMatrix(x)
+		ls := learnerScratchPool.Get().(*learnerScratch)
+		means, clean := imputeMatrixInto(x, ls)
 		scales := standardizeMatrix(clean, means)
 		yMean, yVar := stats.MeanVar(y)
 		ySD := math.Sqrt(yVar)
 		if ySD < stats.MinSigma {
 			ySD = 1
 		}
-		yStd := make([]float64, len(y))
+		yStd := ls.floats(len(y))
 		for i, v := range y {
 			yStd[i] = (v - yMean) / ySD
 		}
 		params.Seed = seed
 		params.Bias = true
 		model := svm.TrainSVR(clean, yStd, params)
+		learnerScratchPool.Put(ls)
 		return &imputedReal{model: model, means: means, scales: scales, yMean: yMean, ySD: ySD}
 	}
 }
@@ -138,10 +151,12 @@ func standardizeMatrix(x *linalg.Matrix, means []float64) []float64 {
 // the same imputation strategy as SVRLearner.
 func SVCLearner(params svm.SVCParams) CatLearnerFunc {
 	return func(x *linalg.Matrix, inputs dataset.Schema, y []int, arity int, seed uint64) CatPredictor {
-		means, clean := imputeMatrix(x)
+		ls := learnerScratchPool.Get().(*learnerScratch)
+		means, clean := imputeMatrixInto(x, ls)
 		params.Seed = seed
 		params.Bias = true
 		model := svm.TrainMultiSVC(clean, y, arity, params)
+		learnerScratchPool.Put(ls)
 		return &imputedCat{model: model, means: means}
 	}
 }
@@ -161,11 +176,45 @@ func TreeCatLearner(params tree.Params) CatLearnerFunc {
 	}
 }
 
+// learnerScratch pools the transient buffers of one SVR/SVC training call:
+// the imputed matrix copy, the observation counts, and the standardized
+// target. Nothing stored here may be retained by a trained predictor — only
+// freshly allocated slices (means, scales) survive the call.
+type learnerScratch struct {
+	clean  *linalg.Matrix
+	counts []int
+	yStd   []float64
+}
+
+var learnerScratchPool = sync.Pool{New: func() any { return new(learnerScratch) }}
+
+// floats returns the scratch float buffer resized to length n.
+func (ls *learnerScratch) floats(n int) []float64 {
+	if cap(ls.yStd) < n {
+		ls.yStd = make([]float64, n)
+	}
+	ls.yStd = ls.yStd[:n]
+	return ls.yStd
+}
+
 // imputeMatrix computes per-column means over observed cells and returns
 // them with an imputed copy of x. Columns with no observed values impute 0.
 func imputeMatrix(x *linalg.Matrix) (means []float64, clean *linalg.Matrix) {
+	return imputeMatrixInto(x, &learnerScratch{})
+}
+
+// imputeMatrixInto is imputeMatrix with the copy and count buffers drawn
+// from ls. The returned means slice is freshly allocated (predictors retain
+// it); the clean matrix is scratch-owned and only valid until ls is reused.
+func imputeMatrixInto(x *linalg.Matrix, ls *learnerScratch) (means []float64, clean *linalg.Matrix) {
 	means = make([]float64, x.Cols)
-	counts := make([]int, x.Cols)
+	if cap(ls.counts) < x.Cols {
+		ls.counts = make([]int, x.Cols)
+	}
+	counts := ls.counts[:x.Cols]
+	for j := range counts {
+		counts[j] = 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		for j, v := range row {
@@ -180,7 +229,9 @@ func imputeMatrix(x *linalg.Matrix) (means []float64, clean *linalg.Matrix) {
 			means[j] /= float64(counts[j])
 		}
 	}
-	clean = x.Clone()
+	ls.clean = linalg.Resize(ls.clean, x.Rows, x.Cols)
+	clean = ls.clean
+	copy(clean.Data, x.Data)
 	for i := 0; i < clean.Rows; i++ {
 		row := clean.Row(i)
 		for j, v := range row {
@@ -192,7 +243,8 @@ func imputeMatrix(x *linalg.Matrix) (means []float64, clean *linalg.Matrix) {
 	return means, clean
 }
 
-// imputeVec fills missing entries of x with means, writing into dst.
+// imputeVec fills missing entries of x with means, writing into dst (reused
+// when it has the capacity, allocated otherwise).
 func imputeVec(x, means, dst []float64) []float64 {
 	if cap(dst) < len(x) {
 		dst = make([]float64, len(x))
@@ -208,20 +260,54 @@ func imputeVec(x, means, dst []float64) []float64 {
 	return dst
 }
 
+// vecPool hands out pooled impute/standardize buffers of a predictor's input
+// width, so per-sample prediction is allocation-free in steady state while
+// staying safe under concurrent use. The zero value is ready (decoded
+// predictors rely on that).
+type vecPool struct{ pool sync.Pool }
+
+func (vp *vecPool) get(n int) *[]float64 {
+	if v := vp.pool.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	b := make([]float64, n)
+	return &b
+}
+
+func (vp *vecPool) put(b *[]float64) { vp.pool.Put(b) }
+
 type imputedReal struct {
 	model  *svm.SVR
 	means  []float64
 	scales []float64 // 1/sd per input column
 	yMean  float64
 	ySD    float64
+	vecs   vecPool
 }
 
-func (p *imputedReal) Predict(x []float64) float64 {
-	buf := imputeVec(x, p.means, nil)
+// predictBuf predicts one sample using buf (len >= len(x)) as the
+// impute+standardize workspace.
+func (p *imputedReal) predictBuf(x, buf []float64) float64 {
+	buf = imputeVec(x, p.means, buf)
 	for j := range buf {
 		buf[j] = (buf[j] - p.means[j]) * p.scales[j]
 	}
 	return p.model.Predict(buf)*p.ySD + p.yMean
+}
+
+func (p *imputedReal) Predict(x []float64) float64 {
+	b := p.vecs.get(len(p.means))
+	v := p.predictBuf(x, *b)
+	p.vecs.put(b)
+	return v
+}
+
+func (p *imputedReal) PredictBatch(x *linalg.Matrix, out []float64) {
+	b := p.vecs.get(len(p.means))
+	for i := 0; i < x.Rows; i++ {
+		out[i] = p.predictBuf(x.Row(i), *b)
+	}
+	p.vecs.put(b)
 }
 
 func (p *imputedReal) Bytes() int64 {
@@ -231,11 +317,22 @@ func (p *imputedReal) Bytes() int64 {
 type imputedCat struct {
 	model *svm.MultiSVC
 	means []float64
+	vecs  vecPool
 }
 
 func (p *imputedCat) PredictLabel(x []float64) int {
-	buf := imputeVec(x, p.means, nil)
-	return p.model.Predict(buf)
+	b := p.vecs.get(len(p.means))
+	label := p.model.Predict(imputeVec(x, p.means, *b))
+	p.vecs.put(b)
+	return label
+}
+
+func (p *imputedCat) PredictLabelBatch(x *linalg.Matrix, out []int) {
+	b := p.vecs.get(len(p.means))
+	for i := 0; i < x.Rows; i++ {
+		out[i] = p.model.Predict(imputeVec(x.Row(i), p.means, *b))
+	}
+	p.vecs.put(b)
 }
 
 func (p *imputedCat) Bytes() int64 { return p.model.Bytes() + int64(len(p.means))*8 }
@@ -246,13 +343,23 @@ func (p *imputedCat) Bytes() int64 { return p.model.Bytes() + int64(len(p.means)
 type constantReal struct{ value float64 }
 
 func (p constantReal) Predict([]float64) float64 { return p.value }
-func (p constantReal) Bytes() int64              { return 8 }
+func (p constantReal) PredictBatch(x *linalg.Matrix, out []float64) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = p.value
+	}
+}
+func (p constantReal) Bytes() int64 { return 8 }
 
 // constantCat predicts the training majority class.
 type constantCat struct{ label int }
 
 func (p constantCat) PredictLabel([]float64) int { return p.label }
-func (p constantCat) Bytes() int64               { return 8 }
+func (p constantCat) PredictLabelBatch(x *linalg.Matrix, out []int) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = p.label
+	}
+}
+func (p constantCat) Bytes() int64 { return 8 }
 
 // marginalRealPredictor builds the fallback for a continuous target.
 func marginalRealPredictor(y []float64) RealPredictor {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"frac/internal/dataset"
+	"frac/internal/linalg"
 	"frac/internal/rng"
 	"frac/internal/tree"
 )
@@ -154,5 +155,6 @@ func TestWriteToRejectsCustomPredictor(t *testing.T) {
 
 type customReal struct{}
 
-func (customReal) Predict([]float64) float64 { return 0 }
-func (customReal) Bytes() int64              { return 0 }
+func (customReal) Predict([]float64) float64                    { return 0 }
+func (customReal) PredictBatch(x *linalg.Matrix, out []float64) {}
+func (customReal) Bytes() int64                                 { return 0 }

@@ -20,6 +20,26 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// Resize returns a rows x cols matrix that reuses m's backing array when it
+// has the capacity (m may be nil). The returned matrix's contents are
+// unspecified — callers must overwrite every cell. This is the reuse
+// primitive behind the per-worker scratch matrices of the train/score hot
+// paths.
+func Resize(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: Resize negative dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if m == nil {
+		return NewMatrix(rows, cols)
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
 // FromRows builds a matrix from a slice of equal-length rows, copying them.
 func FromRows(rows [][]float64) *Matrix {
 	if len(rows) == 0 {

@@ -62,6 +62,50 @@ func ForWorkers(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForWorkersWithState is ForWorkers for workloads that carry per-worker
+// scratch: newState(w) runs once per worker goroutine before it processes any
+// index (once total in the single-worker fast path), and fn receives that
+// worker's state with every index it handles. Because a state value is only
+// ever touched by the goroutine that created it, fn may mutate it freely —
+// this is the substrate that lets the train/score hot paths reuse gather
+// matrices and prediction buffers across all the terms a worker handles
+// instead of allocating per call.
+func ForWorkersWithState[S any](n, workers int, newState func(worker int) S, fn func(i int, state S)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		state := newState(0)
+		for i := 0; i < n; i++ {
+			fn(i, state)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			state := newState(w)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, state)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ForChunked runs fn(lo, hi) over contiguous chunks covering [0, n), one
 // chunk per worker, for workloads where per-index dispatch overhead would
 // dominate (e.g. dense matrix rows).

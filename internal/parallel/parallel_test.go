@@ -85,3 +85,81 @@ func TestMapOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestForWorkersMoreWorkersThanIndices(t *testing.T) {
+	var hits [3]atomic.Int64
+	ForWorkers(3, 64, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForWorkersZeroIndices(t *testing.T) {
+	ran := false
+	ForWorkers(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n == 0")
+	}
+	ForWorkers(-1, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n < 0")
+	}
+}
+
+func TestForWorkersWithStateCoversAllIndices(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int64
+	var states atomic.Int64
+	ForWorkersWithState(n, 4,
+		func(int) *[]int { states.Add(1); return new([]int) },
+		func(i int, sc *[]int) {
+			*sc = append(*sc, i)
+			hits[i].Add(1)
+		})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+	if got := states.Load(); got < 1 || got > 4 {
+		t.Errorf("newState ran %d times, want 1..4", got)
+	}
+}
+
+func TestForWorkersWithStateSingleWorkerSharesState(t *testing.T) {
+	var state *[]int
+	ForWorkersWithState(5, 1,
+		func(int) *[]int { return new([]int) },
+		func(i int, sc *[]int) {
+			if state == nil {
+				state = sc
+			} else if state != sc {
+				t.Fatal("single worker saw more than one state")
+			}
+			*sc = append(*sc, i)
+		})
+	if len(*state) != 5 {
+		t.Errorf("state accumulated %d indices, want 5", len(*state))
+	}
+}
+
+func TestForWorkersWithStateZeroAndExcessWorkers(t *testing.T) {
+	built := 0
+	ForWorkersWithState(0, 4, func(int) int { built++; return 0 }, func(int, int) {
+		t.Error("fn ran for n == 0")
+	})
+	if built != 0 {
+		t.Error("newState ran for n == 0")
+	}
+	var hits [2]atomic.Int64
+	ForWorkersWithState(2, 16,
+		func(int) int { return 0 },
+		func(i int, _ int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+}

@@ -157,6 +157,14 @@ func (m *MultiSVC) Predict(x []float64) int {
 	return best
 }
 
+// PredictBatch classifies every row of x into out (len >= x.Rows) with zero
+// allocations.
+func (m *MultiSVC) PredictBatch(x *linalg.Matrix, out []int) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = m.Predict(x.Row(i))
+	}
+}
+
 // Bytes reports the model's analytic footprint.
 func (m *MultiSVC) Bytes() int64 {
 	var b int64

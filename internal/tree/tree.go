@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"frac/internal/dataset"
+	"frac/internal/linalg"
 )
 
 // Params configures tree induction.
@@ -121,6 +122,15 @@ type Classifier struct {
 // PredictLabel returns the majority class of the leaf x lands in.
 func (c *Classifier) PredictLabel(x []float64) int { return c.walk(x).label }
 
+// PredictLabelBatch classifies every row of x into out (len >= x.Rows).
+// The iterative walk needs no traversal stack, so the batch performs zero
+// allocations.
+func (c *Classifier) PredictLabelBatch(x *linalg.Matrix, out []int) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = c.walk(x.Row(i)).label
+	}
+}
+
 // Regressor is a trained regression tree.
 type Regressor struct {
 	tree
@@ -128,3 +138,11 @@ type Regressor struct {
 
 // Predict returns the mean target of the leaf x lands in.
 func (r *Regressor) Predict(x []float64) float64 { return r.walk(x).value }
+
+// PredictBatch predicts every row of x into out (len >= x.Rows) with zero
+// allocations.
+func (r *Regressor) PredictBatch(x *linalg.Matrix, out []float64) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = r.walk(x.Row(i)).value
+	}
+}
