@@ -24,9 +24,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"frac"
@@ -64,22 +68,32 @@ func main() {
 	loadModel := flag.String("load-model", "", "load a saved model and score -test")
 	flag.Parse()
 
+	// Interrupt (^C) or SIGTERM cancels the run cooperatively: in-flight
+	// model trainings finish, no new ones start, and the process exits with
+	// a "canceled" diagnostic instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case *saveModel != "":
-		err = trainAndSave(*trainPath, *saveModel, opt)
+		err = trainAndSave(ctx, *trainPath, *saveModel, opt)
 	case *loadModel != "":
 		err = loadAndScore(*loadModel, *testPath, opt)
 	default:
-		err = run(*dataPath, *trainPath, *testPath, *replicates, opt)
+		err = run(ctx, *dataPath, *trainPath, *testPath, *replicates, opt)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "frac: canceled")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "frac: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func trainAndSave(trainPath, modelPath string, opt options) error {
+func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options) error {
 	if trainPath == "" {
 		return fmt.Errorf("-save-model needs -train")
 	}
@@ -102,7 +116,7 @@ func trainAndSave(trainPath, modelPath string, opt options) error {
 	if opt.learners == "tree" {
 		cfg.Learners = frac.TreeLearnersDefault()
 	}
-	model, err := frac.Train(train, frac.FullTerms(train.NumFeatures()), cfg)
+	model, err := frac.TrainCtx(ctx, train, frac.FullTerms(train.NumFeatures()), cfg)
 	if err != nil {
 		return err
 	}
@@ -150,7 +164,7 @@ func loadAndScore(modelPath, testPath string, opt options) error {
 	return nil
 }
 
-func run(dataPath, trainPath, testPath string, replicates int, opt options) error {
+func run(ctx context.Context, dataPath, trainPath, testPath string, replicates int, opt options) error {
 	reps, err := loadReplicates(dataPath, trainPath, testPath, replicates, opt.seed)
 	if err != nil {
 		return err
@@ -162,7 +176,7 @@ func run(dataPath, trainPath, testPath string, replicates int, opt options) erro
 		if opt.learners == "tree" {
 			cfg.Learners = frac.TreeLearnersDefault()
 		}
-		scores, err := runVariant(rep, opt, cfg)
+		scores, err := runVariant(ctx, rep, opt, cfg)
 		if err != nil {
 			return err
 		}
@@ -218,47 +232,47 @@ func loadReplicates(dataPath, trainPath, testPath string, n int, seed uint64) ([
 	}
 }
 
-func runVariant(rep frac.Replicate, opt options, cfg frac.Config) ([]float64, error) {
+func runVariant(ctx context.Context, rep frac.Replicate, opt options, cfg frac.Config) ([]float64, error) {
 	src := frac.NewRNG(opt.seed).Stream("variant")
 	switch opt.variant {
 	case "full":
-		res, err := frac.Run(rep.Train, rep.Test, frac.FullTerms(rep.Train.NumFeatures()), cfg)
+		res, err := frac.RunCtx(ctx, rep.Train, rep.Test, frac.FullTerms(rep.Train.NumFeatures()), cfg)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case "random-filter":
-		res, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
+		res, _, err := frac.RunFullFilteredCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case "entropy-filter":
-		res, _, err := frac.RunFullFiltered(rep.Train, rep.Test, frac.EntropyFilter, opt.p, src, cfg)
+		res, _, err := frac.RunFullFilteredCtx(ctx, rep.Train, rep.Test, frac.EntropyFilter, opt.p, src, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case "partial-filter":
-		res, _, err := frac.RunPartialFiltered(rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
+		res, _, err := frac.RunPartialFilteredCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case "random-ensemble":
-		return frac.RunFilterEnsemble(rep.Train, rep.Test, frac.RandomFilter, opt.p,
+		return frac.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p,
 			frac.EnsembleSpec{Members: opt.members}, src, cfg)
 	case "diverse":
-		res, err := frac.RunDiverse(rep.Train, rep.Test, opt.p, 1, src, cfg)
+		res, err := frac.RunDiverseCtx(ctx, rep.Train, rep.Test, opt.p, 1, src, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case "diverse-ensemble":
-		return frac.RunDiverseEnsemble(rep.Train, rep.Test, opt.p,
+		return frac.RunDiverseEnsembleCtx(ctx, rep.Train, rep.Test, opt.p,
 			frac.EnsembleSpec{Members: opt.members}, src, cfg)
 	case "jl":
-		res, err := frac.RunJL(rep.Train, rep.Test, frac.JLSpec{Dim: opt.dim}, src, cfg)
+		res, err := frac.RunJLCtx(ctx, rep.Train, rep.Test, frac.JLSpec{Dim: opt.dim}, src, cfg)
 		if err != nil {
 			return nil, err
 		}

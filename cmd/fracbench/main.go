@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"frac/internal/eval"
@@ -70,10 +74,18 @@ func main() {
 	flag.Float64Var(&opts.DiverseEnsembleP, "diverse-ensemble-p", 1.0/20, "diverse ensemble member probability")
 	flag.IntVar(&opts.JLDim, "jl-dim", 1024, "JL dimension at paper scale (divided by -scale)")
 	flag.IntVar(&opts.JLRepeats, "jl-repeats", 10, "independent projections per JL point")
+	flag.IntVar(&opts.SweepParallel, "sweep-parallel", 1,
+		"concurrent variant-sweep cells (1 = sequential; AUC columns are identical at any value)")
 	benchJSON := flag.String("bench-json", "BENCH_results.json",
 		"write per-exhibit ns/op, allocs/op, bytes/op to this file (empty disables)")
 	flag.Parse()
 	opts.Seed = *seed
+
+	// Interrupt (^C) or SIGTERM cancels the regeneration cooperatively:
+	// in-flight cells finish, later exhibits are skipped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts.Ctx = ctx
 
 	cmd := "all"
 	if flag.NArg() > 0 {
@@ -81,6 +93,10 @@ func main() {
 	}
 	start := time.Now()
 	if err := run(cmd, opts); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "fracbench: canceled")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
 		os.Exit(1)
 	}

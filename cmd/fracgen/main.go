@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"frac/internal/dataset"
 	"frac/internal/synth"
@@ -28,17 +32,29 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	flag.Parse()
 
-	if err := run(*out, *scale, *profile, *seed); err != nil {
+	// Interrupt (^C) or SIGTERM stops between profiles, so no TSV file is
+	// left half-written by a mid-stream kill of the generation loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *out, *scale, *profile, *seed); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "fracgen: canceled")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "fracgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale int, only string, seed uint64) error {
+func run(ctx context.Context, out string, scale int, only string, seed uint64) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	for _, p := range synth.Compendium() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if only != "" && p.Name != only {
 			continue
 		}

@@ -39,12 +39,14 @@
 package frac
 
 import (
+	"context"
 	"io"
 
 	"frac/internal/core"
 	"frac/internal/csax"
 	"frac/internal/dataset"
 	"frac/internal/jl"
+	"frac/internal/parallel"
 	"frac/internal/resource"
 	"frac/internal/rng"
 	"frac/internal/stats"
@@ -102,7 +104,14 @@ type (
 	Cost = resource.Cost
 	// RNG is the deterministic splittable random source used throughout.
 	RNG = rng.Source
+	// Limit is a bounded compute pool shared by concurrent runs (set it as
+	// Config.Limit so nested fan-outs cannot oversubscribe the machine).
+	Limit = parallel.Limit
 )
+
+// NewLimit returns a compute pool admitting n concurrent units of term-level
+// work (< 1 means GOMAXPROCS).
+func NewLimit(n int) *Limit { return parallel.NewLimit(n) }
 
 // Filter methods.
 const (
@@ -126,10 +135,24 @@ func Train(train *Dataset, terms []Term, cfg Config) (*Model, error) {
 	return core.Train(train, terms, cfg)
 }
 
+// TrainCtx is Train with cooperative cancellation: when ctx is done,
+// in-flight term trainings finish, no new ones start, and ctx.Err() is
+// returned. Output for a given seed is bit-identical to Train's at every
+// worker count.
+func TrainCtx(ctx context.Context, train *Dataset, terms []Term, cfg Config) (*Model, error) {
+	return core.TrainCtx(ctx, train, terms, cfg)
+}
+
 // Run trains over the wiring, scores the test set, and returns per-term and
 // total scores with the run's resource cost.
 func Run(train, test *Dataset, terms []Term, cfg Config) (*Result, error) {
 	return core.Run(train, test, terms, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation (TrainCtx semantics across
+// both the training and scoring phases).
+func RunCtx(ctx context.Context, train, test *Dataset, terms []Term, cfg Config) (*Result, error) {
+	return core.RunCtx(ctx, train, test, terms, cfg)
 }
 
 // FullTerms wires ordinary FRaC: every feature predicted from all others.
@@ -147,6 +170,11 @@ func RunFullFiltered(train, test *Dataset, method FilterMethod, p float64, src *
 	return core.RunFullFiltered(train, test, method, p, src, cfg)
 }
 
+// RunFullFilteredCtx is RunFullFiltered with cooperative cancellation.
+func RunFullFilteredCtx(ctx context.Context, train, test *Dataset, method FilterMethod, p float64, src *RNG, cfg Config) (*Result, []int, error) {
+	return core.RunFullFilteredCtx(ctx, train, test, method, p, src, cfg)
+}
+
 // RunPartialFiltered runs partial filtering (models only for kept targets,
 // trained on all features) — the paper's dropped configuration, kept for
 // comparison.
@@ -154,9 +182,19 @@ func RunPartialFiltered(train, test *Dataset, method FilterMethod, p float64, sr
 	return core.RunPartialFiltered(train, test, method, p, src, cfg)
 }
 
+// RunPartialFilteredCtx is RunPartialFiltered with cooperative cancellation.
+func RunPartialFilteredCtx(ctx context.Context, train, test *Dataset, method FilterMethod, p float64, src *RNG, cfg Config) (*Result, []int, error) {
+	return core.RunPartialFilteredCtx(ctx, train, test, method, p, src, cfg)
+}
+
 // RunDiverse runs Diverse FRaC with inclusion probability p.
 func RunDiverse(train, test *Dataset, p float64, predictorsPerFeature int, src *RNG, cfg Config) (*Result, error) {
 	return core.RunDiverse(train, test, p, predictorsPerFeature, src, cfg)
+}
+
+// RunDiverseCtx is RunDiverse with cooperative cancellation.
+func RunDiverseCtx(ctx context.Context, train, test *Dataset, p float64, predictorsPerFeature int, src *RNG, cfg Config) (*Result, error) {
+	return core.RunDiverseCtx(ctx, train, test, p, predictorsPerFeature, src, cfg)
 }
 
 // RunFilterEnsemble runs an ensemble of independently filtered FRaCs and
@@ -166,15 +204,34 @@ func RunFilterEnsemble(train, test *Dataset, method FilterMethod, p float64, spe
 	return core.RunFilterEnsemble(train, test, method, p, spec, src, cfg)
 }
 
+// RunFilterEnsembleCtx is RunFilterEnsemble with cooperative cancellation
+// and spec-controlled member concurrency (EnsembleSpec.Parallel); members
+// run on a shared bounded compute pool and the deterministic reduction makes
+// the output bit-identical at every concurrency level.
+func RunFilterEnsembleCtx(ctx context.Context, train, test *Dataset, method FilterMethod, p float64, spec EnsembleSpec, src *RNG, cfg Config) ([]float64, error) {
+	return core.RunFilterEnsembleCtx(ctx, train, test, method, p, spec, src, cfg)
+}
+
 // RunDiverseEnsemble runs an ensemble of diverse FRaCs.
 func RunDiverseEnsemble(train, test *Dataset, p float64, spec EnsembleSpec, src *RNG, cfg Config) ([]float64, error) {
 	return core.RunDiverseEnsemble(train, test, p, spec, src, cfg)
+}
+
+// RunDiverseEnsembleCtx is RunDiverseEnsemble with cooperative cancellation
+// and spec-controlled member concurrency.
+func RunDiverseEnsembleCtx(ctx context.Context, train, test *Dataset, p float64, spec EnsembleSpec, src *RNG, cfg Config) ([]float64, error) {
+	return core.RunDiverseEnsembleCtx(ctx, train, test, p, spec, src, cfg)
 }
 
 // RunJL runs the JL pre-projection pipeline (1-hot encoding, random
 // projection to spec.Dim, ordinary FRaC in the projected space).
 func RunJL(train, test *Dataset, spec JLSpec, src *RNG, cfg Config) (*Result, error) {
 	return core.RunJL(train, test, spec, src, cfg)
+}
+
+// RunJLCtx is RunJL with cooperative cancellation.
+func RunJLCtx(ctx context.Context, train, test *Dataset, spec JLSpec, src *RNG, cfg Config) (*Result, error) {
+	return core.RunJLCtx(ctx, train, test, spec, src, cfg)
 }
 
 // AUC evaluates anomaly scores against labels (higher score = more
@@ -263,6 +320,12 @@ func Enrichment(selected []int, known map[int]bool, poolSize int) (hits int, pVa
 // per-feature median. Composes with any term wiring.
 func RunBootstrapEnsemble(train, test *Dataset, terms []Term, members int, src *RNG, cfg Config) ([]float64, error) {
 	return core.RunBootstrapEnsemble(train, test, terms, members, src, cfg)
+}
+
+// RunBootstrapEnsembleCtx is RunBootstrapEnsemble with cooperative
+// cancellation and concurrent members.
+func RunBootstrapEnsembleCtx(ctx context.Context, train, test *Dataset, terms []Term, members int, src *RNG, cfg Config) ([]float64, error) {
+	return core.RunBootstrapEnsembleCtx(ctx, train, test, terms, members, src, cfg)
 }
 
 // CSAX-style characterization (paper ref 7): gene-set level explanation of

@@ -9,10 +9,17 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // MaxSliceLen bounds decoded slice lengths as a corruption guard.
 const MaxSliceLen = 1 << 28
+
+// allocChunk caps the up-front capacity of decoded slices. Decoders grow
+// their output as elements actually arrive, so a corrupt length prefix near
+// MaxSliceLen allocates memory proportional to the real input size rather
+// than gigabytes for a few-byte stream.
+const allocChunk = 1 << 16
 
 // Writer accumulates encoding errors so call sites can chain writes and
 // check once.
@@ -135,9 +142,13 @@ func (r *Reader) F64s() []float64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.F64()
+	out := make([]float64, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := r.F64()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -148,9 +159,13 @@ func (r *Reader) Ints() []int {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = r.Int()
+	out := make([]int, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := r.Int()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -158,10 +173,19 @@ func (r *Reader) Ints() []int {
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.sliceLen()
-	if r.err != nil {
+	if r.err != nil || n == 0 {
 		return ""
 	}
-	b := make([]byte, n)
-	r.read(b)
-	return string(b)
+	var sb strings.Builder
+	buf := make([]byte, min(n, allocChunk))
+	for n > 0 {
+		c := min(n, len(buf))
+		r.read(buf[:c])
+		if r.err != nil {
+			return ""
+		}
+		sb.Write(buf[:c])
+		n -= c
+	}
+	return sb.String()
 }

@@ -1,0 +1,79 @@
+package binio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzBinioRoundTrip drives the decoder with arbitrary bytes (it must fail
+// cleanly — no panics, no allocations beyond the stream size) and checks
+// that whatever a reader can extract survives a write/read round trip bit
+// for bit.
+func FuzzBinioRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	w.U64(7)
+	w.F64(3.141592653589793)
+	w.F64s([]float64{1, -2.5, math.Inf(1), math.NaN()})
+	w.Ints([]int{-1, 0, 1 << 40})
+	w.String("hello\tworld")
+	w.Bool(true)
+	f.Add(seed.Bytes())
+	// A huge length prefix over a tiny stream: must error without trying to
+	// allocate the claimed size.
+	var huge bytes.Buffer
+	NewWriter(&huge).Int(MaxSliceLen)
+	f.Add(huge.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode pass: every primitive over arbitrary bytes.
+		r := NewReader(bytes.NewReader(data))
+		_ = r.U64()
+		_ = r.F64()
+		_ = r.Bool()
+		_ = r.F64s()
+		_ = r.Ints()
+		_ = r.String()
+		_ = r.Err()
+
+		// Round-trip pass on whatever decodes cleanly.
+		r = NewReader(bytes.NewReader(data))
+		fs := r.F64s()
+		is := r.Ints()
+		s := r.String()
+		if r.Err() != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		w.F64s(fs)
+		w.Ints(is)
+		w.String(s)
+		if err := w.Err(); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		r2 := NewReader(bytes.NewReader(out.Bytes()))
+		fs2 := r2.F64s()
+		is2 := r2.Ints()
+		s2 := r2.String()
+		if err := r2.Err(); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(fs2) != len(fs) || len(is2) != len(is) || s2 != s {
+			t.Fatalf("round trip changed shape: %d/%d floats, %d/%d ints, %q/%q",
+				len(fs2), len(fs), len(is2), len(is), s2, s)
+		}
+		for i := range fs {
+			if math.Float64bits(fs2[i]) != math.Float64bits(fs[i]) {
+				t.Fatalf("float %d: %x != %x", i, math.Float64bits(fs2[i]), math.Float64bits(fs[i]))
+			}
+		}
+		for i := range is {
+			if is2[i] != is[i] {
+				t.Fatalf("int %d: %d != %d", i, is2[i], is[i])
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/dataset"
@@ -17,12 +18,18 @@ import (
 // terms is evaluated against the training feature count once; each member
 // reuses the same wiring but a fresh resample.
 func RunBootstrapEnsemble(train, test *dataset.Dataset, terms []Term, members int, src *rng.Source, cfg Config) ([]float64, error) {
-	if members < 1 {
-		members = 10
-	}
-	results := make([]*Result, members)
+	return RunBootstrapEnsembleCtx(context.Background(), train, test, terms, members, src, cfg)
+}
+
+// RunBootstrapEnsembleCtx is RunBootstrapEnsemble with cooperative
+// cancellation and concurrent members (EnsembleSpec.Parallel semantics with
+// the zero default: sequential under a tracker, else GOMAXPROCS-bounded).
+// Each member draws its resample from its own derived stream, so the
+// combined output is bit-identical for any member concurrency.
+func RunBootstrapEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, terms []Term, members int, src *rng.Source, cfg Config) ([]float64, error) {
+	spec := EnsembleSpec{Members: members}.withDefaults()
 	n := train.NumSamples()
-	for m := 0; m < members; m++ {
+	results, err := runMembers(ctx, spec, cfg, func(ctx context.Context, m int, cfg Config) (*Result, error) {
 		stream := src.StreamN("bootstrap", m)
 		rows := make([]int, n)
 		for i := range rows {
@@ -31,15 +38,16 @@ func RunBootstrapEnsemble(train, test *dataset.Dataset, terms []Term, members in
 		resample := train.SelectSamples(rows)
 		if cfg.Tracker != nil {
 			cfg.Tracker.Alloc(resample.Bytes())
+			defer cfg.Tracker.Release(resample.Bytes())
 		}
-		res, err := Run(resample, test, terms, cfg)
-		if cfg.Tracker != nil {
-			cfg.Tracker.Release(resample.Bytes())
-		}
+		res, err := RunCtx(ctx, resample, test, terms, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("bootstrap member %d: %w", m, err)
+			return nil, fmt.Errorf("bootstrap: %w", err)
 		}
-		results[m] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return CombineResults(results, CombineMedian)
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
 
 	"frac/internal/dataset"
+	"frac/internal/parallel"
 	"frac/internal/rng"
 	"frac/internal/stats"
 )
@@ -36,6 +40,14 @@ func (m CombineMethod) String() string {
 // feature index, combine groups per-feature (median by default), and sum.
 // Terms that appear in only one member pass through unchanged, so the
 // degenerate one-member "ensemble" equals that member's totals.
+//
+// The reduction is deterministic: features are folded into the totals in
+// ascending original-index order and each feature's member rows in member
+// order, so the output is bit-identical regardless of the order members
+// *completed* in — concurrent ensembles produce exactly the sequential
+// result. (Median combination is additionally invariant under member-order
+// permutation, because the per-sample median sorts its inputs; mean
+// combination is order-sensitive at the floating-point-ulp level.)
 func CombineResults(members []*Result, method CombineMethod) ([]float64, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("core: CombineResults with no members")
@@ -64,13 +76,16 @@ func CombineResults(members []*Result, method CombineMethod) ([]float64, error) 
 				row[s] += v
 			}
 		}
-		for orig, row := range memberRows {
-			perFeature[orig] = append(perFeature[orig], row)
+		// Iterate this member's features in sorted order so perFeature's
+		// row lists are built deterministically (maps iterate randomly).
+		for _, orig := range sortedKeys(memberRows) {
+			perFeature[orig] = append(perFeature[orig], memberRows[orig])
 		}
 	}
 	totals := make([]float64, nSamples)
 	buf := make([]float64, 0, len(members))
-	for _, rows := range perFeature {
+	for _, orig := range sortedKeys(perFeature) {
+		rows := perFeature[orig]
 		if len(rows) == 1 {
 			for s, v := range rows[0] {
 				totals[s] += v
@@ -93,12 +108,31 @@ func CombineResults(members []*Result, method CombineMethod) ([]float64, error) 
 	return totals, nil
 }
 
+// sortedKeys returns the map's integer keys in ascending order — the
+// deterministic iteration order behind the ensemble reduction.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // EnsembleSpec configures an ensemble of filtered or diverse FRaC runs.
 type EnsembleSpec struct {
 	// Members is the ensemble size (the paper uses 10).
 	Members int
 	// Combine defaults to CombineMedian.
 	Combine CombineMethod
+	// Parallel bounds how many members run concurrently. 0 picks a default:
+	// sequential when the config carries a resource tracker (so the tracker
+	// observes the per-member peak, matching how the paper accounts ensemble
+	// memory), otherwise min(Members, GOMAXPROCS). Any value forces that
+	// concurrency (clamped to [1, Members]). Member results are combined by
+	// a deterministic reduction, so the output is bit-identical for every
+	// Parallel value.
+	Parallel int
 }
 
 func (e EnsembleSpec) withDefaults() EnsembleSpec {
@@ -108,20 +142,79 @@ func (e EnsembleSpec) withDefaults() EnsembleSpec {
 	return e
 }
 
+// memberParallel resolves the member-level concurrency for a config.
+func (e EnsembleSpec) memberParallel(cfg Config) int {
+	p := e.Parallel
+	if p == 0 {
+		if cfg.Tracker != nil {
+			p = 1
+		} else {
+			p = runtime.GOMAXPROCS(0)
+		}
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > e.Members {
+		p = e.Members
+	}
+	return p
+}
+
+// runMembers fans the ensemble's members out over up to spec.Parallel
+// supervisor goroutines. Concurrent members share one bounded compute pool
+// (cfg.Limit, created at cfg.Workers when absent) so total in-flight term
+// work stays at the configured width regardless of member concurrency; each
+// member result lands in its own slot, so completion order cannot affect the
+// deterministic reduction that follows.
+func runMembers(ctx context.Context, spec EnsembleSpec, cfg Config, member func(ctx context.Context, i int, cfg Config) (*Result, error)) ([]*Result, error) {
+	cfg = cfg.withDefaults()
+	par := spec.memberParallel(cfg)
+	if par > 1 && cfg.Limit == nil {
+		cfg.Limit = parallel.NewLimit(cfg.Workers)
+	}
+	members := make([]*Result, spec.Members)
+	seedRoot := rng.New(cfg.Seed)
+	err := parallel.ForWorkersErr(ctx, spec.Members, par, func(i int) error {
+		// Derive a per-member training seed so members differ in model and
+		// cross-validation randomness, not just in feature subsets. Derivation
+		// from the immutable root keeps members independent of scheduling:
+		// member i's randomness is a pure function of (cfg.Seed, i).
+		mcfg := cfg
+		mcfg.Seed = seedRoot.StreamN("ensemble-member", i).Seed()
+		res, err := member(ctx, i, mcfg)
+		if err != nil {
+			return fmt.Errorf("ensemble member %d: %w", i, err)
+		}
+		members[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
 // RunFilterEnsemble runs Members independent full-filtered FRaCs (fraction p
 // each, fresh random subset per member) and median-combines them — the
 // paper's "Ensemble of Random Filtering" (filtering value .05, 10 members).
-// Members run sequentially so a shared tracker observes the per-member peak,
-// matching how the paper accounts ensemble memory.
 func RunFilterEnsemble(train, test *dataset.Dataset, method FilterMethod, p float64, spec EnsembleSpec, src *rng.Source, cfg Config) ([]float64, error) {
+	return RunFilterEnsembleCtx(context.Background(), train, test, method, p, spec, src, cfg)
+}
+
+// RunFilterEnsembleCtx is RunFilterEnsemble with cooperative cancellation
+// and spec-controlled member concurrency. Each member derives its own RNG
+// stream from the immutable seed of src, so members share no mutable
+// randomness state and the combined output is bit-identical for any member
+// concurrency.
+func RunFilterEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, method FilterMethod, p float64, spec EnsembleSpec, src *rng.Source, cfg Config) ([]float64, error) {
 	spec = spec.withDefaults()
-	members := make([]*Result, spec.Members)
-	for i := 0; i < spec.Members; i++ {
-		res, _, err := RunFullFiltered(train, test, method, p, src.StreamN("filter-member", i), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ensemble member %d: %w", i, err)
-		}
-		members[i] = res
+	members, err := runMembers(ctx, spec, cfg, func(ctx context.Context, i int, cfg Config) (*Result, error) {
+		res, _, err := RunFullFilteredCtx(ctx, train, test, method, p, src.StreamN("filter-member", i), cfg)
+		return res, err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return CombineResults(members, spec.Combine)
 }
@@ -130,14 +223,18 @@ func RunFilterEnsemble(train, test *dataset.Dataset, method FilterMethod, p floa
 // probability p each) and median-combines them — the paper's "Diverse
 // Ensemble" (10 members at p = 1/20).
 func RunDiverseEnsemble(train, test *dataset.Dataset, p float64, spec EnsembleSpec, src *rng.Source, cfg Config) ([]float64, error) {
+	return RunDiverseEnsembleCtx(context.Background(), train, test, p, spec, src, cfg)
+}
+
+// RunDiverseEnsembleCtx is RunDiverseEnsemble with cooperative cancellation
+// and spec-controlled member concurrency.
+func RunDiverseEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, p float64, spec EnsembleSpec, src *rng.Source, cfg Config) ([]float64, error) {
 	spec = spec.withDefaults()
-	members := make([]*Result, spec.Members)
-	for i := 0; i < spec.Members; i++ {
-		res, err := RunDiverse(train, test, p, 1, src.StreamN("diverse-member", i), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ensemble member %d: %w", i, err)
-		}
-		members[i] = res
+	members, err := runMembers(ctx, spec, cfg, func(ctx context.Context, i int, cfg Config) (*Result, error) {
+		return RunDiverseCtx(ctx, train, test, p, 1, src.StreamN("diverse-member", i), cfg)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return CombineResults(members, spec.Combine)
 }

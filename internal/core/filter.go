@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -89,6 +90,11 @@ func FeatureEntropies(train *dataset.Dataset, est EntropyEstimator) []float64 {
 // reduced space. The returned result's terms carry original feature indices
 // in Orig.
 func RunFullFiltered(train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
+	return RunFullFilteredCtx(context.Background(), train, test, method, p, src, cfg)
+}
+
+// RunFullFilteredCtx is RunFullFiltered with cooperative cancellation.
+func RunFullFilteredCtx(ctx context.Context, train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
 	kept := SelectFilter(train, method, p, src)
 	trainF := train.SelectFeatures(kept)
 	testF := test.SelectFeatures(kept)
@@ -97,7 +103,7 @@ func RunFullFiltered(train, test *dataset.Dataset, method FilterMethod, p float6
 		cfg.Tracker.Alloc(b)
 		defer cfg.Tracker.Release(b)
 	}
-	res, err := Run(trainF, testF, FilteredTerms(kept), cfg)
+	res, err := RunCtx(ctx, trainF, testF, FilteredTerms(kept), cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,8 +115,13 @@ func RunFullFiltered(train, test *dataset.Dataset, method FilterMethod, p float6
 // paper found this consistently inferior to full filtering; it is kept for
 // the ablation bench.
 func RunPartialFiltered(train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
+	return RunPartialFilteredCtx(context.Background(), train, test, method, p, src, cfg)
+}
+
+// RunPartialFilteredCtx is RunPartialFiltered with cooperative cancellation.
+func RunPartialFilteredCtx(ctx context.Context, train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
 	kept := SelectFilter(train, method, p, src)
-	res, err := Run(train, test, PartialTerms(kept, train.NumFeatures()), cfg)
+	res, err := RunCtx(ctx, train, test, PartialTerms(kept, train.NumFeatures()), cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,6 +132,11 @@ func RunPartialFiltered(train, test *dataset.Dataset, method FilterMethod, p flo
 // and the given predictors-per-feature count (1 in the paper's main
 // experiments).
 func RunDiverse(train, test *dataset.Dataset, p float64, predictorsPerFeature int, src *rng.Source, cfg Config) (*Result, error) {
+	return RunDiverseCtx(context.Background(), train, test, p, predictorsPerFeature, src, cfg)
+}
+
+// RunDiverseCtx is RunDiverse with cooperative cancellation.
+func RunDiverseCtx(ctx context.Context, train, test *dataset.Dataset, p float64, predictorsPerFeature int, src *rng.Source, cfg Config) (*Result, error) {
 	terms := DiverseTerms(train.NumFeatures(), p, predictorsPerFeature, src)
-	return Run(train, test, terms, cfg)
+	return RunCtx(ctx, train, test, terms, cfg)
 }

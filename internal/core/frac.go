@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -35,6 +36,12 @@ type Config struct {
 	// MinObserved is the minimum observed training values for a target
 	// before it falls back to the marginal predictor. <= 0 selects 6.
 	MinObserved int
+	// Limit, when non-nil, is a shared bounded compute pool: every unit of
+	// term-level work across all runs sharing the Limit holds one of its
+	// tokens, so concurrent ensemble members or variant-sweep cells cannot
+	// oversubscribe the machine. Nil means each run bounds itself by Workers
+	// alone.
+	Limit *parallel.Limit
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +110,33 @@ type Model struct {
 // Train fits a FRaC model over the given term wiring. The training set must
 // be the all-normal population; terms index into its features.
 func Train(train *dataset.Dataset, terms []Term, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), train, terms, cfg)
+}
+
+// termStreams derives one deterministic RNG stream per term, keyed by the
+// term's *identity* — its original feature index plus a replica counter for
+// wirings that carry several predictors per feature — rather than its slice
+// position. Identity keying is what makes training results invariant under
+// reorderings of the term list and lets concurrent workers share nothing:
+// each stream is derived from the immutable root seed, never from consumed
+// generator state.
+func termStreams(root *rng.Source, terms []Term) []*rng.Source {
+	streams := make([]*rng.Source, len(terms))
+	replica := make(map[int]uint64, len(terms))
+	for i, t := range terms {
+		r := replica[t.Orig]
+		replica[t.Orig] = r + 1
+		streams[i] = root.StreamAt("term", uint64(t.Orig), r)
+	}
+	return streams
+}
+
+// TrainCtx is Train with cooperative cancellation: ctx is checked between
+// term trainings on every worker, a cancelled context aborts the run with
+// ctx.Err(), and worker panics come back as wrapped *parallel.PanicError
+// values instead of killing the process. Work in flight when the context is
+// cancelled finishes its current term first.
+func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if train.NumSamples() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
@@ -113,38 +147,30 @@ func Train(train *dataset.Dataset, terms []Term, cfg Config) (*Model, error) {
 		}
 	}
 	m := &Model{cfg: cfg, schema: train.Schema, terms: make([]termModel, len(terms))}
-	root := rng.New(cfg.Seed)
-	var firstErr error
-	errs := make([]error, len(terms))
-	parallel.ForWorkersWithState(len(terms), cfg.Workers,
+	streams := termStreams(rng.New(cfg.Seed), terms)
+	err := parallel.ForWorkersWithStateErr(ctx, len(terms), cfg.Workers, cfg.Limit,
 		func(int) *trainScratch { return new(trainScratch) },
-		func(ti int, sc *trainScratch) {
-			task := func() {
-				tm, err := trainTerm(train, terms[ti], cfg, root.StreamN("term", ti), sc)
-				if err != nil {
-					errs[ti] = err
-					return
-				}
-				m.terms[ti] = tm
-				if cfg.Tracker != nil {
-					cfg.Tracker.Alloc(tm.bytes())
-				}
-			}
+		func(ti int, sc *trainScratch) error {
+			var tm termModel
+			var err error
+			task := func() { tm, err = trainTerm(train, terms[ti], cfg, streams[ti], sc) }
 			if cfg.Tracker != nil {
 				cfg.Tracker.TimeTask(task)
 			} else {
 				task()
 			}
+			if err != nil {
+				return fmt.Errorf("term %d: %w", ti, err)
+			}
+			m.terms[ti] = tm
+			if cfg.Tracker != nil {
+				cfg.Tracker.Alloc(tm.bytes())
+			}
+			return nil
 		})
-	for _, err := range errs {
-		if err != nil {
-			firstErr = err
-			break
-		}
-	}
-	if firstErr != nil {
+	if err != nil {
 		m.release()
-		return nil, firstErr
+		return nil, err
 	}
 	return m, nil
 }
@@ -527,6 +553,12 @@ func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws 
 // through the batch prediction path, with all gather and prediction buffers
 // reused per worker.
 func (m *Model) ScoreDataset(test *dataset.Dataset) (*ScoreSet, error) {
+	return m.ScoreDatasetCtx(context.Background(), test)
+}
+
+// ScoreDatasetCtx is ScoreDataset with cooperative cancellation, checked
+// between per-term scoring passes on every worker.
+func (m *Model) ScoreDatasetCtx(ctx context.Context, test *dataset.Dataset) (*ScoreSet, error) {
 	if test.NumFeatures() != len(m.schema) {
 		return nil, fmt.Errorf("core: test set has %d features, model expects %d", test.NumFeatures(), len(m.schema))
 	}
@@ -535,16 +567,20 @@ func (m *Model) ScoreDataset(test *dataset.Dataset) (*ScoreSet, error) {
 	for i := range m.terms {
 		ss.Terms[i] = m.terms[i].term
 	}
-	parallel.ForWorkersWithState(len(m.terms), m.cfg.Workers,
+	err := parallel.ForWorkersWithStateErr(ctx, len(m.terms), m.cfg.Workers, m.cfg.Limit,
 		func(int) *scoreWorkspace { return new(scoreWorkspace) },
-		func(ti int, ws *scoreWorkspace) {
+		func(ti int, ws *scoreWorkspace) error {
 			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws) }
 			if m.cfg.Tracker != nil {
 				m.cfg.Tracker.TimeTask(task)
 			} else {
 				task()
 			}
+			return nil
 		})
+	if err != nil {
+		return nil, err
+	}
 	return ss, nil
 }
 
@@ -561,16 +597,22 @@ type Result struct {
 // resource cost. This is the primitive every variant and ensemble member
 // goes through.
 func Run(train, test *dataset.Dataset, terms []Term, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), train, test, terms, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation threaded through training and
+// scoring.
+func RunCtx(ctx context.Context, train, test *dataset.Dataset, terms []Term, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	ownTracker := cfg.Tracker == nil
 	if ownTracker {
 		cfg.Tracker = resource.NewTracker()
 	}
-	model, err := Train(train, terms, cfg)
+	model, err := TrainCtx(ctx, train, terms, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ss, err := model.ScoreDataset(test)
+	ss, err := model.ScoreDatasetCtx(ctx, test)
 	if err != nil {
 		model.release()
 		return nil, err

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"frac/internal/dataset"
+	"frac/internal/rng"
 	"frac/internal/tree"
 )
 
@@ -60,29 +63,32 @@ func goldenTrainTest() (*dataset.Dataset, *dataset.Dataset) {
 	return train, test
 }
 
-// goldenCases pins the exact scores of fixed-seed runs. The values are the
-// pre-optimization outputs; the zero-allocation train/score pipeline must
-// reproduce them bit for bit (same seed → identical scores).
+// goldenCases pins the exact scores of fixed-seed runs. The values were
+// re-pinned when per-term RNG streams moved from position-based (index in
+// the term list) to identity-based derivation — StreamAt keyed on the term's
+// original feature index — which changed which random draws each term sees
+// for a fixed seed. The concurrent runtime must reproduce these bit for bit
+// at every worker count (same seed → identical scores).
 var goldenCases = []struct {
 	name   string
 	cfg    Config
 	scores []uint64 // math.Float64bits of each test sample's NS
 }{
 	{name: "paper-learners", cfg: Config{Seed: 42}, scores: []uint64{
-		0xc01e5eef15b7f119, // -7.592708911277691
-		0x409598978f925978, // 1382.1480086199863
-		0xc01600294a7f64a2, // -5.500157512689073
-		0x3fe68d3209a5a666, // 0.7047357738894788
-		0xc0184947c372c68e, // -6.071562818413112
-		0xc01609c072c776f1, // -5.509523194717745
+		0xc01d836fbbbb5bdf, // -7.378355916319349
+		0x4098641a2d59529a, // 1561.0255636173883
+		0xc012b649fa2c830e, // -4.6780165757816246
+		0x3ff9b38d65e3a179, // 1.6063360195203968
+		0xc017d0b3ee7a3458, // -5.953811384400147
+		0xc0170a8722befec1, // -5.76028112688772
 	}},
 	{name: "tree-learners-kde", cfg: Config{Seed: 7, KDEError: true, Entropy: KDEEntropy, Learners: Learners{}}, scores: []uint64{
-		0xc01832314079c5e3, // -6.049016005928453
-		0x408325455ce03e41, // 612.6588685530661
-		0xc00cb1ba365fc8f0, // -3.586780953214763
-		0xbfda1851fb5c8c14, // -0.40773438975355814
-		0xc013ebf6136ca203, // -4.980430892472671
-		0xc01230b7e65eaa8d, // -4.547576522376983
+		0xc01a72f8c7aed9a5, // -6.612277145430572
+		0x40876bd7ff6a1beb, // 749.4804676332254
+		0xc0102f9a1e4e0ae0, // -4.046486352456412
+		0x4026a905443871d6, // 11.330118305101603
+		0xc014e8631db4d2fb, // -5.226940597688322
+		0xc015c1a16f99a493, // -5.43909239173185
 	}},
 }
 
@@ -118,4 +124,50 @@ func TestGoldenScoresFixedSeed(t *testing.T) {
 			}
 		})
 	}
+}
+
+// goldenEnsembleScores pins the filter-ensemble output for a fixed seed. The
+// concurrent runtime must reproduce these bits at every (member parallelism,
+// worker count) combination: per-member seed derivation plus the sorted
+// deterministic reduction make the combined scores independent of scheduling.
+var goldenEnsembleScores = []uint64{
+	0xc018157dc51b71cd, // -6.0209875867844405
+	0x40b42ea337f738f3, // 5166.637572719005
+	0xc013192fafb45bde, // -4.77459597147296
+	0x4041f63bed886c74, // 35.92370385323821
+	0xc014df4ea1b80e42, // -5.218073393687122
+	0xc0123a71b465b4b1, // -4.557074373920089
+}
+
+func TestGoldenEnsembleScoresFixedSeed(t *testing.T) {
+	train, test := goldenTrainTest()
+	run := func(parallel, workers int) []float64 {
+		t.Helper()
+		scores, err := RunFilterEnsembleCtx(context.Background(), train, test, RandomFilter, 0.6,
+			EnsembleSpec{Members: 4, Parallel: parallel}, rng.New(99), Config{Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatalf("parallel=%d workers=%d: %v", parallel, workers, err)
+		}
+		return scores
+	}
+	ref := run(1, 1)
+	if len(goldenEnsembleScores) == 0 {
+		for _, s := range ref {
+			t.Logf("golden: 0x%016x, // %v", math.Float64bits(s), s)
+		}
+		t.Fatal("golden ensemble scores not recorded yet")
+	}
+	check := func(label string, scores []float64) {
+		t.Helper()
+		for i, s := range scores {
+			if math.Float64bits(s) != goldenEnsembleScores[i] {
+				t.Errorf("%s sample %d: score %v (bits 0x%016x), want bits 0x%016x",
+					label, i, s, math.Float64bits(s), goldenEnsembleScores[i])
+			}
+		}
+	}
+	check("sequential", ref)
+	check("parallel-members", run(4, 1))
+	check("parallel-terms", run(1, 4))
+	check("parallel-both", run(0, runtime.GOMAXPROCS(0)))
 }

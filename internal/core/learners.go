@@ -110,9 +110,12 @@ func SVRLearner(params svm.SVRParams) RealLearnerFunc {
 		for i, v := range y {
 			yStd[i] = (v - yMean) / ySD
 		}
-		params.Seed = seed
-		params.Bias = true
-		model := svm.TrainSVR(clean, yStd, params)
+		// Copy before customizing: the closure is shared by every concurrent
+		// term training, so writing through the captured params would race.
+		p := params
+		p.Seed = seed
+		p.Bias = true
+		model := svm.TrainSVR(clean, yStd, p)
 		learnerScratchPool.Put(ls)
 		return &imputedReal{model: model, means: means, scales: scales, yMean: yMean, ySD: ySD}
 	}
@@ -153,9 +156,12 @@ func SVCLearner(params svm.SVCParams) CatLearnerFunc {
 	return func(x *linalg.Matrix, inputs dataset.Schema, y []int, arity int, seed uint64) CatPredictor {
 		ls := learnerScratchPool.Get().(*learnerScratch)
 		means, clean := imputeMatrixInto(x, ls)
-		params.Seed = seed
-		params.Bias = true
-		model := svm.TrainMultiSVC(clean, y, arity, params)
+		// Copy before customizing (see SVRLearner): the closure is shared by
+		// concurrent term trainings.
+		p := params
+		p.Seed = seed
+		p.Bias = true
+		model := svm.TrainMultiSVC(clean, y, arity, p)
 		learnerScratchPool.Put(ls)
 		return &imputedCat{model: model, means: means}
 	}

@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"frac/internal/core"
+	"frac/internal/rng"
+)
+
+// Metamorphic properties of the concurrent runtime (DESIGN.md §8): outputs
+// must be a pure function of (inputs, seed) — invariant under worker count,
+// member completion order, and work-list reordering. These tests are the
+// executable statement of that contract and are expected to run under -race.
+
+// approxEqual compares with a combined absolute/relative tolerance: learners
+// are not bitwise invariant under input-column reordering (floating-point
+// sums reassociate), so permutation properties hold only to tolerance.
+func approxEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestNSInvariantUnderFeaturePermutation checks the core identity-derivation
+// property: permuting the feature columns of the data set (with terms whose
+// Orig still names the original feature) permutes the per-term score rows
+// and leaves each feature's contribution — and the NS total — unchanged up
+// to floating-point reassociation. Position-keyed RNG streams would break
+// this: each feature would draw different cross-validation folds after the
+// permutation.
+func TestNSInvariantUnderFeaturePermutation(t *testing.T) {
+	rep := expressionReplicate(t, 60, 31)
+	f := rep.Train.NumFeatures()
+	cfg := core.Config{Seed: 11, Workers: 1}
+
+	base, err := core.Run(rep.Train, rep.Test, core.FullTerms(f), cfg)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	baseByOrig := map[int][]float64{}
+	for ti, term := range base.Terms {
+		baseByOrig[term.Orig] = base.PerTerm.Row(ti)
+	}
+
+	perm := rng.New(99).Perm(f)
+	permuted, err := core.Run(rep.Train.SelectFeatures(perm), rep.Test.SelectFeatures(perm),
+		core.FilteredTerms(perm), cfg)
+	if err != nil {
+		t.Fatalf("permuted run: %v", err)
+	}
+
+	const tol = 1e-8
+	for ti, term := range permuted.Terms {
+		want := baseByOrig[term.Orig]
+		if want == nil {
+			t.Fatalf("permuted term %d has unknown Orig %d", ti, term.Orig)
+		}
+		got := permuted.PerTerm.Row(ti)
+		for s := range got {
+			if !approxEqual(got[s], want[s], tol) {
+				t.Errorf("feature %d sample %d: permuted %v, baseline %v", term.Orig, s, got[s], want[s])
+			}
+		}
+	}
+	for s := range permuted.Scores {
+		if !approxEqual(permuted.Scores[s], base.Scores[s], tol) {
+			t.Errorf("total NS sample %d: permuted %v, baseline %v", s, permuted.Scores[s], base.Scores[s])
+		}
+	}
+}
+
+// TestEnsembleMedianInvariantUnderMemberPermutation: the median combiner
+// sorts its inputs, so reordering the member list must reproduce the
+// combined scores bit for bit.
+func TestEnsembleMedianInvariantUnderMemberPermutation(t *testing.T) {
+	rep := expressionReplicate(t, 60, 37)
+	cfg := core.Config{Seed: 5, Workers: 1}
+	src := rng.New(17)
+	var members []*core.Result
+	for i := 0; i < 5; i++ {
+		res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.RandomFilter, 0.3,
+			src.StreamN("member", i), cfg)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		members = append(members, res)
+	}
+	want, err := core.CombineResults(members, core.CombineMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}} {
+		shuffled := make([]*core.Result, len(members))
+		for i, j := range order {
+			shuffled[i] = members[j]
+		}
+		got, err := core.CombineResults(shuffled, core.CombineMedian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range got {
+			if math.Float64bits(got[s]) != math.Float64bits(want[s]) {
+				t.Errorf("order %v sample %d: %v (bits %016x), want %v (bits %016x)",
+					order, s, got[s], math.Float64bits(got[s]), want[s], math.Float64bits(want[s]))
+			}
+		}
+	}
+}
+
+// bitsEqual fails the test on the first Float64bits mismatch between runs.
+func bitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got), len(want))
+	}
+	for s := range got {
+		if math.Float64bits(got[s]) != math.Float64bits(want[s]) {
+			t.Errorf("%s: sample %d = %v (bits %016x), want %v (bits %016x)",
+				label, s, got[s], math.Float64bits(got[s]), want[s], math.Float64bits(want[s]))
+		}
+	}
+}
+
+// TestVariantsDeterministicAcrossWorkerCounts: every variant must produce
+// bit-identical scores for Workers in {1, 4, GOMAXPROCS} — the dynamic work
+// distribution may change which goroutine trains which term, but never the
+// result.
+func TestVariantsDeterministicAcrossWorkerCounts(t *testing.T) {
+	rep := expressionReplicate(t, 60, 41)
+	f := rep.Train.NumFeatures()
+	ctx := context.Background()
+
+	variants := []struct {
+		name string
+		run  func(cfg core.Config) ([]float64, error)
+	}{
+		{"full", func(cfg core.Config) ([]float64, error) {
+			res, err := core.RunCtx(ctx, rep.Train, rep.Test, core.FullTerms(f), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Scores, nil
+		}},
+		{"random-filter", func(cfg core.Config) ([]float64, error) {
+			res, _, err := core.RunFullFilteredCtx(ctx, rep.Train, rep.Test, core.RandomFilter, 0.2, rng.New(3), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Scores, nil
+		}},
+		{"jl", func(cfg core.Config) ([]float64, error) {
+			res, err := core.RunJLCtx(ctx, rep.Train, rep.Test, core.JLSpec{Dim: 16}, rng.New(3), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Scores, nil
+		}},
+		{"diverse-ensemble", func(cfg core.Config) ([]float64, error) {
+			return core.RunDiverseEnsembleCtx(ctx, rep.Train, rep.Test, 0.2,
+				core.EnsembleSpec{Members: 4}, rng.New(3), cfg)
+		}},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			ref, err := v.run(core.Config{Seed: 11, Workers: workerCounts[0]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts[1:] {
+				got, err := v.run(core.Config{Seed: 11, Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				bitsEqual(t, v.name, got, ref)
+			}
+			// Same seed, same machine state: a repeat run is also identical.
+			again, err := v.run(core.Config{Seed: 11, Workers: workerCounts[0]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqual(t, v.name+" repeat", again, ref)
+		})
+	}
+}
+
+// TestEnsembleDeterministicAcrossMemberParallelism: member-level concurrency
+// (EnsembleSpec.Parallel) must not change the combined output either — each
+// member's randomness derives from (seed, member index) and the reduction is
+// order-insensitive by construction.
+func TestEnsembleDeterministicAcrossMemberParallelism(t *testing.T) {
+	rep := expressionReplicate(t, 60, 43)
+	spec := core.EnsembleSpec{Members: 6}
+	run := func(parallel, workers int) []float64 {
+		t.Helper()
+		spec := spec
+		spec.Parallel = parallel
+		scores, err := core.RunFilterEnsembleCtx(context.Background(), rep.Train, rep.Test,
+			core.RandomFilter, 0.2, spec, rng.New(7), core.Config{Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatalf("parallel=%d workers=%d: %v", parallel, workers, err)
+		}
+		return scores
+	}
+	ref := run(1, 1)
+	for _, pc := range []struct{ parallel, workers int }{{2, 1}, {6, 2}, {0, 4}} {
+		bitsEqual(t, "filter-ensemble", run(pc.parallel, pc.workers), ref)
+	}
+}

@@ -74,13 +74,15 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if n < 0 || n > binio.MaxSliceLen {
 		return nil, fmt.Errorf("core: implausible term count %d", n)
 	}
-	m := &Model{schema: schema, terms: make([]termModel, n)}
-	for i := range m.terms {
-		tm, err := decodeTerm(br, len(schema))
+	// Terms are appended as they decode, so a corrupt count allocates
+	// memory proportional to the stream, not the claimed length.
+	m := &Model{schema: schema, terms: make([]termModel, 0, min(n, 1024))}
+	for i := 0; i < n; i++ {
+		tm, err := decodeTerm(br, schema)
 		if err != nil {
 			return nil, fmt.Errorf("core: term %d: %w", i, err)
 		}
-		m.terms[i] = tm
+		m.terms = append(m.terms, tm)
 	}
 	return m, br.Err()
 }
@@ -99,11 +101,16 @@ func decodeSchema(r *binio.Reader) dataset.Schema {
 	if r.Err() != nil || n < 0 || n > binio.MaxSliceLen {
 		return nil
 	}
-	s := make(dataset.Schema, n)
-	for i := range s {
-		s[i].Name = r.String()
-		s[i].Kind = dataset.Kind(r.U64())
-		s[i].Arity = r.Int()
+	s := make(dataset.Schema, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var f dataset.Feature
+		f.Name = r.String()
+		f.Kind = dataset.Kind(r.U64())
+		f.Arity = r.Int()
+		if r.Err() != nil {
+			return nil
+		}
+		s = append(s, f)
 	}
 	return s
 }
@@ -133,7 +140,7 @@ func encodeTerm(w *binio.Writer, tm *termModel) error {
 	return encodeRealPredictor(w, tm.real)
 }
 
-func decodeTerm(r *binio.Reader, numFeatures int) (termModel, error) {
+func decodeTerm(r *binio.Reader, schema dataset.Schema) (termModel, error) {
 	var tm termModel
 	tm.term.Target = r.Int()
 	tm.term.Orig = r.Int()
@@ -144,8 +151,18 @@ func decodeTerm(r *binio.Reader, numFeatures int) (termModel, error) {
 	if err := r.Err(); err != nil {
 		return tm, err
 	}
-	if err := tm.term.Validate(numFeatures); err != nil {
+	if err := tm.term.Validate(len(schema)); err != nil {
 		return tm, err
+	}
+	// Scoring indexes the confusion matrix by the target's schema arity and
+	// the predictor's output, so a decoded term must agree with its schema
+	// entry exactly — anything else is corruption that would panic later.
+	feat := schema[tm.term.Target]
+	if tm.isCat != (feat.Kind == dataset.Categorical) {
+		return tm, fmt.Errorf("term kind disagrees with schema feature %d", tm.term.Target)
+	}
+	if tm.isCat && tm.arity != feat.Arity {
+		return tm, fmt.Errorf("term arity %d disagrees with schema arity %d", tm.arity, feat.Arity)
 	}
 	if tm.isCat {
 		k := r.Int()
@@ -154,12 +171,15 @@ func decodeTerm(r *binio.Reader, numFeatures int) (termModel, error) {
 		if err := r.Err(); err != nil {
 			return tm, err
 		}
-		if k < 1 || len(counts) != k*k {
-			return tm, fmt.Errorf("confusion matrix %d with %d counts", k, len(counts))
+		if k != tm.arity || len(counts) != k*k {
+			return tm, fmt.Errorf("confusion matrix %d with %d counts for arity %d", k, len(counts), tm.arity)
 		}
 		tm.catErr = &stats.Confusion{K: k, Counts: counts, Smoothing: smoothing}
 		cat, err := decodeCatPredictor(r)
 		if err != nil {
+			return tm, err
+		}
+		if err := validateCatPredictor(cat, len(tm.term.Inputs), tm.arity); err != nil {
 			return tm, err
 		}
 		tm.cat = cat
@@ -181,8 +201,60 @@ func decodeTerm(r *binio.Reader, numFeatures int) (termModel, error) {
 	if err != nil {
 		return tm, err
 	}
+	if err := validateRealPredictor(real, len(tm.term.Inputs)); err != nil {
+		return tm, err
+	}
 	tm.real = real
 	return tm, nil
+}
+
+// validateRealPredictor rejects decoded predictors whose shape disagrees
+// with the term's input count; Predict would index out of range on them.
+func validateRealPredictor(p RealPredictor, inputs int) error {
+	switch v := p.(type) {
+	case *imputedReal:
+		if len(v.model.W) != inputs || len(v.means) != inputs || len(v.scales) != inputs {
+			return fmt.Errorf("SVR shape (%d weights, %d means, %d scales) for %d inputs",
+				len(v.model.W), len(v.means), len(v.scales), inputs)
+		}
+	case *tree.Regressor:
+		if v.NumInputs() != inputs {
+			return fmt.Errorf("tree over %d inputs for a %d-input term", v.NumInputs(), inputs)
+		}
+	}
+	return nil
+}
+
+// validateCatPredictor mirrors validateRealPredictor and additionally pins
+// the label range: predictions index the confusion matrix, so every label a
+// predictor can emit must lie in [0, arity).
+func validateCatPredictor(p CatPredictor, inputs, arity int) error {
+	switch v := p.(type) {
+	case constantCat:
+		if v.label < 0 || v.label >= arity {
+			return fmt.Errorf("constant label %d out of [0,%d)", v.label, arity)
+		}
+	case *imputedCat:
+		if v.model.K != arity {
+			return fmt.Errorf("SVC over %d classes for arity %d", v.model.K, arity)
+		}
+		if len(v.means) != inputs {
+			return fmt.Errorf("SVC with %d means for %d inputs", len(v.means), inputs)
+		}
+		for _, b := range v.model.Models {
+			if len(b.W) != inputs {
+				return fmt.Errorf("SVC with %d weights for %d inputs", len(b.W), inputs)
+			}
+		}
+	case *tree.Classifier:
+		if v.NumInputs() != inputs {
+			return fmt.Errorf("tree over %d inputs for a %d-input term", v.NumInputs(), inputs)
+		}
+		if v.Arity != arity {
+			return fmt.Errorf("tree over %d classes for arity %d", v.Arity, arity)
+		}
+	}
+	return nil
 }
 
 func encodeRealPredictor(w *binio.Writer, p RealPredictor) error {

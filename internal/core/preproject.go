@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/dataset"
@@ -29,6 +30,11 @@ type JLSpec struct {
 // space. The encoder and projection are fitted/drawn once and shared by the
 // train and test splits.
 func RunJL(train, test *dataset.Dataset, spec JLSpec, src *rng.Source, cfg Config) (*Result, error) {
+	return RunJLCtx(context.Background(), train, test, spec, src, cfg)
+}
+
+// RunJLCtx is RunJL with cooperative cancellation.
+func RunJLCtx(ctx context.Context, train, test *dataset.Dataset, spec JLSpec, src *rng.Source, cfg Config) (*Result, error) {
 	if spec.Dim <= 0 {
 		return nil, fmt.Errorf("core: JL dimension %d", spec.Dim)
 	}
@@ -53,7 +59,7 @@ func RunJL(train, test *dataset.Dataset, spec JLSpec, src *rng.Source, cfg Confi
 		cfg.Tracker.Alloc(b)
 		defer cfg.Tracker.Release(b)
 	}
-	return Run(projTrain, projTest, FullTerms(spec.Dim), cfg)
+	return RunCtx(ctx, projTrain, projTest, FullTerms(spec.Dim), cfg)
 }
 
 // projectDataset encodes and projects a data set into the k-dim real space,

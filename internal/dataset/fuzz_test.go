@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParseDataset feeds arbitrary text through the TSV parser. Accepted
+// inputs must survive a write/parse round trip: same name, schema, labels,
+// and cell values (missing values compare as missing, everything else bit
+// for bit — the 'g'/-1 float format is exact).
+func FuzzParseDataset(f *testing.F) {
+	f.Add([]byte("a:real\tb:cat3\n1.5\t2\n?\t0\n"))
+	f.Add([]byte("# name: demo\nlabel\tx:real\n0\t0.25\n1\t?\n"))
+	f.Add([]byte("label\n0\n1\n"))
+	f.Add([]byte("only:cat2\n1\n"))
+	f.Add([]byte("# comment\n\nx:real\n-0\n1e300\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadTSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, d); err != nil {
+			t.Fatalf("write accepted dataset: %v", err)
+		}
+		d2, err := ReadTSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse own output: %v\noutput:\n%s", err, buf.String())
+		}
+		if d2.Name != d.Name {
+			t.Fatalf("name %q != %q", d2.Name, d.Name)
+		}
+		if len(d2.Schema) != len(d.Schema) {
+			t.Fatalf("%d features != %d", len(d2.Schema), len(d.Schema))
+		}
+		for j := range d.Schema {
+			if d2.Schema[j] != d.Schema[j] {
+				t.Fatalf("feature %d: %+v != %+v", j, d2.Schema[j], d.Schema[j])
+			}
+		}
+		if d2.NumSamples() != d.NumSamples() {
+			t.Fatalf("%d samples != %d", d2.NumSamples(), d.NumSamples())
+		}
+		if (d2.Anomalous == nil) != (d.Anomalous == nil) {
+			t.Fatalf("label presence changed")
+		}
+		for i := 0; i < d.NumSamples(); i++ {
+			if d.Anomalous != nil && d2.Anomalous[i] != d.Anomalous[i] {
+				t.Fatalf("sample %d label %v != %v", i, d2.Anomalous[i], d.Anomalous[i])
+			}
+			a, b := d.Sample(i), d2.Sample(i)
+			for j := range a {
+				if IsMissing(a[j]) && IsMissing(b[j]) {
+					continue
+				}
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("sample %d feature %d: %v != %v", i, j, b[j], a[j])
+				}
+			}
+		}
+	})
+}

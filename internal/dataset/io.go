@@ -21,6 +21,9 @@ import (
 // feature of arity K. The label column holds 0 (normal) / 1 (anomalous).
 
 // WriteTSV serializes d to w.
+//
+// Write errors are sticky on the bufio.Writer, so the individual Fprint
+// results need no checks; the final Flush surfaces the first failure.
 func WriteTSV(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
 	if d.Name != "" {
@@ -70,7 +73,7 @@ func WriteFile(path string, d *Dataset) error {
 		return err
 	}
 	if err := WriteTSV(f, d); err != nil {
-		f.Close()
+		f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()
@@ -173,6 +176,11 @@ func ReadTSV(r io.Reader) (*Dataset, error) {
 		copy(d.Sample(i), row)
 	}
 	if hasLabel {
+		if labels == nil {
+			// Zero-row labeled input: keep the dataset labeled (non-nil)
+			// so the label column survives a write/read round trip.
+			labels = []bool{}
+		}
 		d.Anomalous = labels
 	}
 	if err := d.Validate(); err != nil {

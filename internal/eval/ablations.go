@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/core"
@@ -69,8 +70,8 @@ func Ablations(full []Table2Row, o Options) ([]AblationRow, error) {
 	jlFamily := func(f jl.Family) VariantSpec {
 		return VariantSpec{
 			Name: "jl-" + f.String(),
-			Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-				res, err := core.RunJL(rep.Train, rep.Test,
+			Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+				res, err := core.RunJLCtx(ctx, rep.Train, rep.Test,
 					core.JLSpec{Dim: o.ScaledJLDim(o.JLDim), Family: f}, src, cfg)
 				if err != nil {
 					return nil, err
@@ -87,8 +88,8 @@ func Ablations(full []Table2Row, o Options) ([]AblationRow, error) {
 	combiner := func(m core.CombineMethod) VariantSpec {
 		return VariantSpec{
 			Name: "combine-" + m.String(),
-			Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-				return core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, o.FilterP,
+			Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+				return core.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP,
 					core.EnsembleSpec{Members: o.EnsembleMembers, Combine: m}, src, cfg)
 			},
 		}
@@ -101,9 +102,9 @@ func Ablations(full []Table2Row, o Options) ([]AblationRow, error) {
 	errModel := func(name string, kde bool) VariantSpec {
 		return VariantSpec{
 			Name: "error-" + name,
-			Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
 				cfg.KDEError = kde
-				res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.RandomFilter, 0.25, src, cfg)
+				res, _, err := core.RunFullFilteredCtx(ctx, rep.Train, rep.Test, core.RandomFilter, 0.25, src, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -121,8 +122,8 @@ func Ablations(full []Table2Row, o Options) ([]AblationRow, error) {
 	jlLearner := func(name string, learners core.Learners) VariantSpec {
 		return VariantSpec{
 			Name: "jl-learner-" + name,
-			Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-				res, err := core.RunJL(rep.Train, rep.Test,
+			Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+				res, err := core.RunJLCtx(ctx, rep.Train, rep.Test,
 					core.JLSpec{Dim: o.ScaledJLDim(o.JLDim), Learners: learners}, src, cfg)
 				if err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/core"
@@ -39,8 +40,8 @@ func Baselines(o Options) ([]BaselineRow, error) {
 		var fracAgg, lofAgg, ocAgg stats.Welford
 		for ri, rep := range reps {
 			// FRaC (random filter ensemble).
-			auc, _, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
-				return core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, o.FilterP,
+			auc, _, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
+				return core.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP,
 					core.EnsembleSpec{Members: o.EnsembleMembers},
 					newSeededStream(o, p.Name, "baseline-frac", ri), cfg)
 			})

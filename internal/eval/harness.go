@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -28,6 +29,9 @@ import (
 
 // Options configures a harness run.
 type Options struct {
+	// Ctx cancels a harness run cooperatively: when it is done, in-flight
+	// table cells finish and the run returns ctx.Err(). Nil means Background.
+	Ctx context.Context
 	// Scale divides the paper's feature counts. Default 16.
 	Scale int
 	// Replicates per data set (the paper uses 5). Default 5.
@@ -36,6 +40,15 @@ type Options struct {
 	Seed uint64
 	// Workers bounds model-training parallelism (<= 0: GOMAXPROCS).
 	Workers int
+	// SweepParallel bounds how many variant-sweep cells (one variant on one
+	// replicate) run concurrently. Default 1 (sequential, the paper-faithful
+	// measurement mode). Concurrent cells share one bounded compute pool
+	// sized by Workers, and cell outputs aggregate in deterministic index
+	// order, so AUC columns are identical for every SweepParallel value;
+	// only wall-clock changes. Cost fractions stay meaningful because they
+	// are computed from summed CPU time and analytic peak bytes, not wall
+	// time.
+	SweepParallel int
 
 	// FilterP is the full-filtering keep fraction (paper: 0.05).
 	FilterP float64
@@ -105,6 +118,22 @@ func (o Options) out() io.Writer {
 	return o.Out
 }
 
+// ctx returns the run's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// sweepParallel resolves the cell-level concurrency (>= 1).
+func (o Options) sweepParallel() int {
+	if o.SweepParallel < 1 {
+		return 1
+	}
+	return o.SweepParallel
+}
+
 // configFor returns the engine config for a profile: the paper's learner
 // choice (linear SVR on expression data, decision trees on SNP data).
 func configFor(p synth.Profile, o Options, tracker *resource.Tracker) core.Config {
@@ -147,12 +176,13 @@ func replicatesFor(p synth.Profile, o Options) ([]dataset.Replicate, error) {
 }
 
 // runScored executes fn under a fresh tracker and returns the resulting
-// anomaly-score AUC and cost. fn receives the tracker-carrying config.
-func runScored(p synth.Profile, o Options, rep dataset.Replicate,
-	fn func(cfg core.Config) ([]float64, error)) (auc float64, cost resource.Cost, err error) {
+// anomaly-score AUC and cost. fn receives the run context and the
+// tracker-carrying config.
+func runScored(ctx context.Context, p synth.Profile, o Options, rep dataset.Replicate,
+	fn func(ctx context.Context, cfg core.Config) ([]float64, error)) (auc float64, cost resource.Cost, err error) {
 	tracker := resource.NewTracker()
 	cfg := configFor(p, o, tracker)
-	scores, err := fn(cfg)
+	scores, err := fn(ctx, cfg)
 	if err != nil {
 		return 0, resource.Cost{}, err
 	}
@@ -183,9 +213,9 @@ func meanCost(costs []resource.Cost) resource.Cost {
 }
 
 // fullTermsRun is the Table II primitive: ordinary FRaC over all features.
-func fullTermsRun(rep dataset.Replicate) func(cfg core.Config) ([]float64, error) {
-	return func(cfg core.Config) ([]float64, error) {
-		res, err := core.Run(rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()), cfg)
+func fullTermsRun(rep dataset.Replicate) func(ctx context.Context, cfg core.Config) ([]float64, error) {
+	return func(ctx context.Context, cfg core.Config) ([]float64, error) {
+		res, err := core.RunCtx(ctx, rep.Train, rep.Test, core.FullTerms(rep.Train.NumFeatures()), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -48,7 +48,7 @@ func Interpretation(o Options) (InterpretationResult, error) {
 		return InterpretationResult{}, err
 	}
 	cfg := configFor(p, o, nil)
-	res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.RandomFilter, o.FilterP,
+	res, _, err := core.RunFullFilteredCtx(o.ctx(), rep.Train, rep.Test, core.RandomFilter, o.FilterP,
 		rng.New(o.Seed).Stream("interpret"), cfg)
 	if err != nil {
 		return InterpretationResult{}, err

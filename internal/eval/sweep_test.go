@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"frac/internal/synth"
+)
+
+// TestRunVariantsDeterministicAcrossSweepParallel: the variant-sweep grid
+// must report bit-identical AUC statistics whether cells run sequentially or
+// concurrently — cell randomness derives from (seed, profile, variant,
+// replicate) and aggregation walks the grid in index order. Only the
+// measured time/memory fractions may differ between runs.
+func TestRunVariantsDeterministicAcrossSweepParallel(t *testing.T) {
+	p, err := synth.ProfileByName("biomarkers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := coarse()
+	full, err := fullRunRow(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []VariantSpec{RandomFilterEnsembleSpec(), JLSpecVariant(), DiverseSpec()}
+	run := func(par int) []VariantRow {
+		t.Helper()
+		o := o
+		o.SweepParallel = par
+		rows, err := RunVariants(p, full, specs, o)
+		if err != nil {
+			t.Fatalf("SweepParallel=%d: %v", par, err)
+		}
+		return rows
+	}
+	ref := run(1)
+	for _, par := range []int{2, 4} {
+		got := run(par)
+		if len(got) != len(ref) {
+			t.Fatalf("SweepParallel=%d: %d rows, want %d", par, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].Variant != ref[i].Variant {
+				t.Fatalf("row %d variant %q, want %q", i, got[i].Variant, ref[i].Variant)
+			}
+			for _, c := range []struct {
+				name     string
+				got, ref float64
+			}{
+				{"AUCFrac", got[i].AUCFrac, ref[i].AUCFrac},
+				{"AUCFracSD", got[i].AUCFracSD, ref[i].AUCFracSD},
+				{"RawAUC", got[i].RawAUC, ref[i].RawAUC},
+				{"RawAUCSD", got[i].RawAUCSD, ref[i].RawAUCSD},
+			} {
+				if math.Float64bits(c.got) != math.Float64bits(c.ref) {
+					t.Errorf("SweepParallel=%d %s.%s = %v (bits %016x), want %v (bits %016x)",
+						par, got[i].Variant, c.name, c.got, math.Float64bits(c.got),
+						c.ref, math.Float64bits(c.ref))
+				}
+			}
+		}
+	}
+}
+
+// TestRunVariantsHonorsCancellation: a pre-cancelled context aborts the
+// sweep with context.Canceled before any cell output is produced.
+func TestRunVariantsHonorsCancellation(t *testing.T) {
+	p, err := synth.ProfileByName("biomarkers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := coarse()
+	full, err := fullRunRow(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Ctx = ctx
+	o.SweepParallel = 2
+	if _, err := RunVariants(p, full, []VariantSpec{DiverseSpec()}, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

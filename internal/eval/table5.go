@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/core"
@@ -48,8 +49,8 @@ func Table5(full []Table2Row, o Options) ([]Table5Row, error) {
 	var rows []Table5Row
 
 	// Entropy filtering: deterministic given the training set — one run.
-	entAUC, entCost, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
-		res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.EntropyFilter, o.FilterP,
+	entAUC, entCost, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
+		res, _, err := core.RunFullFilteredCtx(ctx, rep.Train, rep.Test, core.EntropyFilter, o.FilterP,
 			rng.New(o.Seed).Stream("t5-entropy"), cfg)
 		if err != nil {
 			return nil, err
@@ -67,8 +68,8 @@ func Table5(full []Table2Row, o Options) ([]Table5Row, error) {
 	var randAgg stats.Welford
 	var randCosts []resource.Cost
 	for i := 0; i < randomRepeats; i++ {
-		auc, cost, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
-			return core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, o.FilterP,
+		auc, cost, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
+			return core.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP,
 				core.EnsembleSpec{Members: o.EnsembleMembers},
 				rng.New(o.Seed).StreamN("t5-random", i), cfg)
 		})
@@ -112,12 +113,12 @@ func jlPoint(p synth.Profile, o Options, rep dataset.Replicate, dim, repeats int
 	var agg stats.Welford
 	var costs []resource.Cost
 	for i := 0; i < repeats; i++ {
-		auc, c, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
+		auc, c, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
 			spec := core.JLSpec{Dim: dim, Family: o.JLFamily}
 			if p.SNP {
 				spec.Learners = cfg.Learners // trees in projected space
 			}
-			res, err := core.RunJL(rep.Train, rep.Test, spec,
+			res, err := core.RunJLCtx(ctx, rep.Train, rep.Test, spec,
 				rng.New(o.Seed).StreamN(fmt.Sprintf("jl-%s-%d", p.Name, dim), i), cfg)
 			if err != nil {
 				return nil, err

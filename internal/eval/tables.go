@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"frac/internal/core"
 	"frac/internal/dataset"
+	"frac/internal/parallel"
 	"frac/internal/resource"
 	"frac/internal/rng"
 	"frac/internal/stats"
@@ -138,7 +140,7 @@ func fullRunRow(p synth.Profile, o Options) (Table2Row, error) {
 	var aucAgg stats.Welford
 	var costs []resource.Cost
 	for _, rep := range reps {
-		auc, cost, err := runScored(p, o, rep, fullTermsRun(rep))
+		auc, cost, err := runScored(o.ctx(), p, o, rep, fullTermsRun(rep))
 		if err != nil {
 			return Table2Row{}, err
 		}
@@ -186,30 +188,61 @@ type VariantRow struct {
 // replicate. The seed source is independent per (variant, replicate).
 type VariantSpec struct {
 	Name string
-	Run  func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error)
+	Run  func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error)
 }
 
 // RunVariants executes the given variants over a profile's replicates,
 // reporting fractions against the profile's full-run outcomes from Table II.
+//
+// The (variant, replicate) cells form a flat grid that runs on up to
+// Options.SweepParallel supervisor goroutines sharing one bounded compute
+// pool (Options.Workers wide), so concurrent cells never oversubscribe the
+// machine. Each cell's randomness derives from (o.Seed, profile, variant,
+// replicate) alone and each outcome lands in its own slot; aggregation then
+// walks the grid in index order, so every statistic except measured time is
+// identical for any SweepParallel value.
 func RunVariants(p synth.Profile, full Table2Row, specs []VariantSpec, o Options) ([]VariantRow, error) {
 	o = o.WithDefaults()
 	reps, err := replicatesFor(p, o)
 	if err != nil {
 		return nil, err
 	}
+	type cellOut struct {
+		auc  float64
+		cost resource.Cost
+	}
+	cells := make([]cellOut, len(specs)*len(reps))
+	par := o.sweepParallel()
+	var limit *parallel.Limit
+	if par > 1 && len(cells) > 1 {
+		// Concurrent cells share one term-level compute pool so total
+		// parallelism stays at Workers, not cells x Workers.
+		limit = parallel.NewLimit(o.Workers)
+	}
+	err = parallel.ForWorkersErr(o.ctx(), len(cells), par, func(ci int) error {
+		si, ri := ci/len(reps), ci%len(reps)
+		spec, rep := specs[si], reps[ri]
+		src := rng.New(o.Seed).Stream(fmt.Sprintf("%s-%s-r%d", p.Name, spec.Name, ri))
+		auc, cost, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
+			cfg.Limit = limit
+			return spec.Run(ctx, rep, src, cfg, o)
+		})
+		if err != nil {
+			return fmt.Errorf("%s on %s replicate %d: %w", spec.Name, p.Name, ri, err)
+		}
+		cells[ci] = cellOut{auc: auc, cost: cost}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []VariantRow
-	for _, spec := range specs {
+	for si, spec := range specs {
 		var fracAgg, rawAgg stats.Welford
 		var timeFracs, memFracs []float64
-		for ri, rep := range reps {
-			src := rng.New(o.Seed).Stream(fmt.Sprintf("%s-%s-r%d", p.Name, spec.Name, ri))
-			auc, cost, err := runScored(p, o, rep, func(cfg core.Config) ([]float64, error) {
-				return spec.Run(rep, src, cfg, o)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s replicate %d: %w", spec.Name, p.Name, ri, err)
-			}
-			rawAgg.Add(auc)
+		for ri := range reps {
+			cell := cells[si*len(reps)+ri]
+			rawAgg.Add(cell.auc)
 			baseline := full.Cost
 			baseAUC := full.AUC
 			if ri < len(full.PerReplicate) {
@@ -217,9 +250,9 @@ func RunVariants(p synth.Profile, full Table2Row, specs []VariantSpec, o Options
 				baseAUC = full.PerReplicate[ri].AUC
 			}
 			if baseAUC > 0 {
-				fracAgg.Add(auc / baseAUC)
+				fracAgg.Add(cell.auc / baseAUC)
 			}
-			tf, mf := cost.Frac(baseline)
+			tf, mf := cell.cost.Frac(baseline)
 			timeFracs = append(timeFracs, tf)
 			memFracs = append(memFracs, mf)
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"frac/internal/core"
@@ -25,8 +26,8 @@ const (
 func RandomFilterEnsembleSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantRandomEnsemble,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			return core.RunFilterEnsemble(rep.Train, rep.Test, core.RandomFilter, o.FilterP,
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			return core.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP,
 				core.EnsembleSpec{Members: o.EnsembleMembers}, src, cfg)
 		},
 	}
@@ -37,8 +38,8 @@ func RandomFilterEnsembleSpec() VariantSpec {
 func JLSpecVariant() VariantSpec {
 	return VariantSpec{
 		Name: VariantJL,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			res, err := core.RunJL(rep.Train, rep.Test,
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			res, err := core.RunJLCtx(ctx, rep.Train, rep.Test,
 				core.JLSpec{Dim: o.ScaledJLDim(o.JLDim), Family: o.JLFamily}, src, cfg)
 			if err != nil {
 				return nil, err
@@ -52,8 +53,8 @@ func JLSpecVariant() VariantSpec {
 func EntropyFilterSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantEntropyFilter,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.EntropyFilter, o.FilterP, src, cfg)
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			res, _, err := core.RunFullFilteredCtx(ctx, rep.Train, rep.Test, core.EntropyFilter, o.FilterP, src, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -66,8 +67,8 @@ func EntropyFilterSpec() VariantSpec {
 func DiverseSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantDiverse,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			res, err := core.RunDiverse(rep.Train, rep.Test, o.DiverseP, 1, src, cfg)
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			res, err := core.RunDiverseCtx(ctx, rep.Train, rep.Test, o.DiverseP, 1, src, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -80,8 +81,8 @@ func DiverseSpec() VariantSpec {
 func DiverseEnsembleSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantDiverseEnsemble,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			return core.RunDiverseEnsemble(rep.Train, rep.Test, o.DiverseEnsembleP,
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			return core.RunDiverseEnsembleCtx(ctx, rep.Train, rep.Test, o.DiverseEnsembleP,
 				core.EnsembleSpec{Members: o.EnsembleMembers}, src, cfg)
 		},
 	}
@@ -92,8 +93,8 @@ func DiverseEnsembleSpec() VariantSpec {
 func SingleRandomFilterSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantRandomFilter,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			res, _, err := core.RunFullFiltered(rep.Train, rep.Test, core.RandomFilter, o.FilterP, src, cfg)
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			res, _, err := core.RunFullFilteredCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP, src, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -108,8 +109,8 @@ func SingleRandomFilterSpec() VariantSpec {
 func PartialFilterSpec() VariantSpec {
 	return VariantSpec{
 		Name: VariantPartialFilter,
-		Run: func(rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
-			res, _, err := core.RunPartialFiltered(rep.Train, rep.Test, core.RandomFilter, o.FilterP, src, cfg)
+		Run: func(ctx context.Context, rep dataset.Replicate, src *rng.Source, cfg core.Config, o Options) ([]float64, error) {
+			res, _, err := core.RunPartialFilteredCtx(ctx, rep.Train, rep.Test, core.RandomFilter, o.FilterP, src, cfg)
 			if err != nil {
 				return nil, err
 			}

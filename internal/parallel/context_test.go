@@ -1,0 +1,224 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForWorkersErrRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, 100)
+		err := ForWorkersErr(context.Background(), 100, workers, func(i int) error {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d ran twice", i)
+			}
+			hits.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if hits.Load() != 100 {
+			t.Errorf("workers=%d: ran %d of 100", workers, hits.Load())
+		}
+	}
+}
+
+func TestForWorkersErrPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForWorkersErr(context.Background(), 1000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("loop did not stop early: ran %d of 1000", n)
+	}
+}
+
+func TestForWorkersErrRecoversPanic(t *testing.T) {
+	err := ForWorkersErr(context.Background(), 50, 4, func(i int) error {
+		if i == 7 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if fmt.Sprint(pe.Value) != "kaboom" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+}
+
+func TestForWorkersErrHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForWorkersErr(ctx, 1<<30, 4, func(i int) error {
+			ran.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop within 5s of cancellation")
+	}
+	if ran.Load() >= 1<<30 {
+		t.Error("loop ran to completion despite cancellation")
+	}
+}
+
+func TestForWorkersWithStateErrStatePerWorker(t *testing.T) {
+	type state struct{ worker, count int }
+	var made atomic.Int64
+	err := ForWorkersWithStateErr(context.Background(), 200, 4, nil,
+		func(w int) *state { made.Add(1); return &state{worker: w} },
+		func(i int, s *state) error {
+			s.count++ // data race here if states were shared
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made.Load() > 4 {
+		t.Errorf("made %d states for 4 workers", made.Load())
+	}
+}
+
+func TestForWorkersWithStateErrNewStatePanic(t *testing.T) {
+	err := ForWorkersWithStateErr(context.Background(), 10, 2, nil,
+		func(w int) int { panic("bad state") },
+		func(i, s int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}
+
+func TestLimitBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	limit := NewLimit(bound)
+	var inFlight, peak atomic.Int64
+	// Two concurrent loops sharing the limit: joint concurrency must stay
+	// within the bound even though each loop alone would use 8 workers.
+	done := make(chan error, 2)
+	for l := 0; l < 2; l++ {
+		go func() {
+			done <- ForWorkersWithStateErr(context.Background(), 64, 8, limit,
+				func(int) struct{} { return struct{}{} },
+				func(i int, _ struct{}) error {
+					cur := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					time.Sleep(200 * time.Microsecond)
+					inFlight.Add(-1)
+					return nil
+				})
+		}()
+	}
+	for l := 0; l < 2; l++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d exceeds shared limit %d", p, bound)
+	}
+}
+
+func TestLimitAcquireUnblocksOnCancel(t *testing.T) {
+	limit := NewLimit(1)
+	if err := limit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- limit.Acquire(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not unblock on cancellation")
+	}
+	limit.Release()
+}
+
+func TestForWorkersErrPanicReleasesLimitTokens(t *testing.T) {
+	// A panicking task must not leak its token: afterwards the limit still
+	// admits `bound` concurrent holders.
+	limit := NewLimit(2)
+	_ = ForWorkersWithStateErr(context.Background(), 8, 4, limit,
+		func(int) struct{} { return struct{}{} },
+		func(i int, _ struct{}) error { panic("drop mid-task") })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for k := 0; k < 2; k++ {
+		if err := limit.Acquire(ctx); err != nil {
+			t.Fatalf("token %d leaked by panicking task: %v", k, err)
+		}
+	}
+	limit.Release()
+	limit.Release()
+}
+
+func TestForWorkersErrNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: loop must return promptly
+	if err := ForWorkersErr(ctx, 1000, 8, func(i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d", before, after)
+	}
+}
+
+func TestForWorkersErrZeroAndNegativeN(t *testing.T) {
+	if err := ForWorkersErr(context.Background(), 0, 4, func(int) error { return errors.New("ran") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := ForWorkersErr(context.Background(), -3, 4, func(int) error { return errors.New("ran") }); err != nil {
+		t.Errorf("n<0: %v", err)
+	}
+	// nil ctx means Background.
+	if err := ForWorkersErr(nil, 4, 2, func(int) error { return nil }); err != nil { //nolint:staticcheck
+		t.Errorf("nil ctx: %v", err)
+	}
+}

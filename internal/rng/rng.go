@@ -4,6 +4,13 @@
 // replicate splits) draws from a named stream derived from a root seed, so
 // experiments are reproducible bit-for-bit and independent components do not
 // perturb each other's randomness.
+//
+// Concurrency contract: a *Source is NOT safe for concurrent use — its
+// generator state mutates on every draw. Stream derivation (Stream, StreamN,
+// StreamAt) reads only the parent's immutable seed, so many goroutines may
+// derive child streams from one shared parent concurrently; each goroutine
+// then owns its derived Source exclusively. This is how ensemble members and
+// sweep cells get independent deterministic randomness without shared state.
 package rng
 
 import (
@@ -64,6 +71,21 @@ func (s *Source) Stream(label string) *Source {
 func (s *Source) StreamN(label string, n int) *Source {
 	_, mixed := splitmix64(uint64(n) + 0x51ed27)
 	return New(s.seed ^ hash64(label) ^ mixed)
+}
+
+// StreamAt derives an independent Source identified by label and a path of
+// index components, chaining a splitmix64 round per component (not a plain
+// xor, so distinct paths cannot cancel). This is the derivation for streams
+// keyed by *identity* rather than slice position — e.g. a term's original
+// feature index plus its replica number — which is what makes FRaC outputs
+// invariant under reorderings of the work list.
+func (s *Source) StreamAt(label string, path ...uint64) *Source {
+	h := s.seed ^ hash64(label)
+	for _, p := range path {
+		_, hp := splitmix64(p + 0x9e3779b97f4a7c15)
+		_, h = splitmix64(h ^ hp)
+	}
+	return New(h)
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -23,11 +23,18 @@ func decodeSchema(r *binio.Reader) dataset.Schema {
 	if r.Err() != nil || n < 0 || n > binio.MaxSliceLen {
 		return nil
 	}
-	s := make(dataset.Schema, n)
-	for i := range s {
-		s[i].Name = r.String()
-		s[i].Kind = dataset.Kind(r.U64())
-		s[i].Arity = r.Int()
+	// Grown incrementally: a corrupt count cannot allocate more features
+	// than the stream actually carries.
+	s := make(dataset.Schema, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var f dataset.Feature
+		f.Name = r.String()
+		f.Kind = dataset.Kind(r.U64())
+		f.Arity = r.Int()
+		if r.Err() != nil {
+			return nil
+		}
+		s = append(s, f)
 	}
 	return s
 }
@@ -58,9 +65,9 @@ func decodeTree(r *binio.Reader) (tree, error) {
 	if n < 1 || n > binio.MaxSliceLen {
 		return t, fmt.Errorf("tree: implausible node count %d", n)
 	}
-	t.nodes = make([]node, n)
-	for i := range t.nodes {
-		nd := &t.nodes[i]
+	t.nodes = make([]node, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var nd node
 		nd.feature = r.Int()
 		nd.threshold = r.F64()
 		nd.category = r.Int()
@@ -69,21 +76,28 @@ func decodeTree(r *binio.Reader) (tree, error) {
 		nd.right = int32(r.Int())
 		nd.label = r.Int()
 		nd.value = r.F64()
-	}
-	if err := r.Err(); err != nil {
-		return t, err
+		if err := r.Err(); err != nil {
+			return t, err
+		}
+		t.nodes = append(t.nodes, nd)
 	}
 	for i := range t.nodes {
 		nd := &t.nodes[i]
 		if nd.feature >= len(t.inputs) {
 			return t, fmt.Errorf("tree: node %d feature %d out of schema", i, nd.feature)
 		}
-		if nd.feature >= 0 && (int(nd.left) >= n || int(nd.right) >= n || nd.left < 0 || nd.right < 0) {
+		// The builder appends children after their parent, so edges always
+		// point forward. Enforcing that here makes every decoded tree walk
+		// terminate: a corrupt stream cannot smuggle in a cycle.
+		if nd.feature >= 0 && (int(nd.left) <= i || int(nd.right) <= i || int(nd.left) >= n || int(nd.right) >= n) {
 			return t, fmt.Errorf("tree: node %d child out of range", i)
 		}
 	}
 	return t, nil
 }
+
+// NumInputs reports the width of the input schema the tree splits on.
+func (t *tree) NumInputs() int { return len(t.inputs) }
 
 // Encode serializes the classifier.
 func (c *Classifier) Encode(w *binio.Writer) {
@@ -100,6 +114,11 @@ func DecodeClassifier(r *binio.Reader) (*Classifier, error) {
 	}
 	if arity < 2 {
 		return nil, fmt.Errorf("tree: decoded arity %d", arity)
+	}
+	for i := range t.nodes {
+		if nd := &t.nodes[i]; nd.feature < 0 && (nd.label < 0 || nd.label >= arity) {
+			return nil, fmt.Errorf("tree: leaf %d label %d out of [0,%d)", i, nd.label, arity)
+		}
 	}
 	return &Classifier{tree: t, Arity: arity}, nil
 }
