@@ -197,6 +197,27 @@ func BenchmarkScoreDataset(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreDatasetTelemetry is BenchmarkScoreDataset with an enabled
+// recorder: the delta between the two pins the enabled-telemetry overhead on
+// the scoring hot path (budget: ≤2%, DESIGN.md §9). Per-term spans run at the
+// default 1-in-8 sampling, as real runs do.
+func BenchmarkScoreDatasetTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	rep := benchReplicate(b)
+	rec := frac.NewRecorder()
+	model, err := frac.Train(rep.Train, frac.FullTerms(rep.Train.NumFeatures()),
+		frac.Config{Seed: 5, Obs: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.ScoreDataset(rep.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTrainTerm isolates single-term training (gather + CV folds +
 // final fit) by training a one-term model.
 func BenchmarkTrainTerm(b *testing.B) {

@@ -30,10 +30,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"frac"
+	"frac/internal/obs"
 	"frac/internal/resource"
 )
 
@@ -46,6 +48,11 @@ type options struct {
 	workers  int
 	learners string
 	scores   bool
+
+	// obs is the run's telemetry recorder (nil unless -progress or
+	// -metrics-out was given) and manifest carrier.
+	obs      *obs.Recorder
+	manifest *obs.Manifest
 }
 
 func main() {
@@ -55,6 +62,7 @@ func main() {
 		testPath   = flag.String("test", "", "test TSV (fixed-split mode)")
 		replicates = flag.Int("replicates", 5, "replicates in pool mode")
 		opt        options
+		tele       obs.CLIFlags
 	)
 	flag.StringVar(&opt.variant, "variant", "full", "full | random-filter | random-ensemble | entropy-filter | partial-filter | diverse | diverse-ensemble | jl")
 	flag.Float64Var(&opt.p, "p", 0.05, "filter keep-fraction / diverse inclusion probability")
@@ -66,7 +74,31 @@ func main() {
 	flag.BoolVar(&opt.scores, "scores", false, "print per-sample scores")
 	saveModel := flag.String("save-model", "", "train full FRaC on -train and save the model here")
 	loadModel := flag.String("load-model", "", "load a saved model and score -test")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := tele.Start("frac", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frac: %v\n", err)
+		os.Exit(1)
+	}
+	if sess == nil { // -version
+		return
+	}
+	opt.obs = sess.Rec
+	opt.manifest = sess.Manifest
+	opt.manifest.Variant = opt.variant
+	opt.manifest.Seed = opt.seed
+	opt.manifest.ConfigHash = obs.FlagConfigHash(
+		"variant", opt.variant,
+		"p", strconv.FormatFloat(opt.p, 'g', -1, 64),
+		"members", strconv.Itoa(opt.members),
+		"dim", strconv.Itoa(opt.dim),
+		"seed", strconv.FormatUint(opt.seed, 10),
+		"workers", strconv.Itoa(opt.workers),
+		"learners", opt.learners,
+		"replicates", strconv.Itoa(*replicates),
+	)
 
 	// Interrupt (^C) or SIGTERM cancels the run cooperatively: in-flight
 	// model trainings finish, no new ones start, and the process exits with
@@ -74,7 +106,6 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var err error
 	switch {
 	case *saveModel != "":
 		err = trainAndSave(ctx, *trainPath, *saveModel, opt)
@@ -82,6 +113,11 @@ func main() {
 		err = loadAndScore(*loadModel, *testPath, opt)
 	default:
 		err = run(ctx, *dataPath, *trainPath, *testPath, *replicates, opt)
+	}
+	// Telemetry closes before exit so profiles flush and the metrics file is
+	// complete even on a failed or cancelled run.
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -93,11 +129,25 @@ func main() {
 	}
 }
 
+// readDataset loads a TSV data set under the telemetry load phase, counting
+// decoded bytes.
+func readDataset(path string, rec *obs.Recorder) (*frac.Dataset, error) {
+	span := rec.Start(obs.PhaseLoad)
+	defer span.End()
+	d, err := frac.ReadDatasetFile(path)
+	if err == nil {
+		if fi, statErr := os.Stat(path); statErr == nil {
+			rec.Add(obs.CounterBytesDecoded, fi.Size())
+		}
+	}
+	return d, err
+}
+
 func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options) error {
 	if trainPath == "" {
 		return fmt.Errorf("-save-model needs -train")
 	}
-	train, err := frac.ReadDatasetFile(trainPath)
+	train, err := readDataset(trainPath, opt.obs)
 	if err != nil {
 		return err
 	}
@@ -112,7 +162,8 @@ func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options)
 		train = train.SelectSamples(rows)
 		train.Anomalous = nil
 	}
-	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers}
+	opt.describeDataset(train.Name, train.NumFeatures(), train.NumSamples(), 0, 0)
+	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Obs: opt.obs}
 	if opt.learners == "tree" {
 		cfg.Learners = frac.TreeLearnersDefault()
 	}
@@ -145,14 +196,20 @@ func loadAndScore(modelPath, testPath string, opt options) error {
 		return err
 	}
 	defer f.Close()
+	span := opt.obs.Start(obs.PhaseLoad)
 	model, err := frac.LoadModel(f)
+	span.End()
 	if err != nil {
 		return err
 	}
-	test, err := frac.ReadDatasetFile(testPath)
+	if fi, statErr := f.Stat(); statErr == nil {
+		opt.obs.Add(obs.CounterBytesDecoded, fi.Size())
+	}
+	test, err := readDataset(testPath, opt.obs)
 	if err != nil {
 		return err
 	}
+	opt.describeDataset(test.Name, test.NumFeatures(), test.NumSamples(), 0, test.NumSamples())
 	scores := make([]float64, test.NumSamples())
 	for i := range scores {
 		scores[i] = model.Score(test.Sample(i))
@@ -164,15 +221,46 @@ func loadAndScore(modelPath, testPath string, opt options) error {
 	return nil
 }
 
+// describeDataset fills the manifest's dataset block (telemetry off: no-op).
+func (opt options) describeDataset(name string, features, samples, trainRows, testRows int) {
+	if opt.manifest == nil {
+		return
+	}
+	opt.manifest.Dataset = &obs.DatasetInfo{
+		Name:      name,
+		Features:  features,
+		Samples:   samples,
+		TrainRows: trainRows,
+		TestRows:  testRows,
+	}
+}
+
 func run(ctx context.Context, dataPath, trainPath, testPath string, replicates int, opt options) error {
-	reps, err := loadReplicates(dataPath, trainPath, testPath, replicates, opt.seed)
+	reps, err := loadReplicates(dataPath, trainPath, testPath, replicates, opt.seed, opt.obs)
 	if err != nil {
 		return err
+	}
+	if len(reps) > 0 {
+		opt.describeDataset(reps[0].Train.Name, reps[0].Train.NumFeatures(),
+			reps[0].Train.NumSamples()+reps[0].Test.NumSamples(),
+			reps[0].Train.NumSamples(), reps[0].Test.NumSamples())
+		if opt.manifest != nil {
+			opt.manifest.Dataset.Replicates = len(reps)
+		}
+	}
+	// When telemetry is on, run all term-level work through one instrumented
+	// compute pool so occupancy and queue-wait metrics cover every variant
+	// (the pool is sized exactly like the worker bound, so scheduling — and
+	// therefore scores — is unchanged).
+	var limit *frac.Limit
+	if opt.obs != nil {
+		limit = frac.NewLimit(opt.workers).Instrument(opt.obs)
 	}
 	var aucs []float64
 	for i, rep := range reps {
 		tracker := resource.NewTracker()
-		cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Tracker: tracker}
+		cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Tracker: tracker,
+			Obs: opt.obs, Limit: limit}
 		if opt.learners == "tree" {
 			cfg.Learners = frac.TreeLearnersDefault()
 		}
@@ -181,6 +269,7 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 			return err
 		}
 		cost := tracker.Stop()
+		opt.obs.SetAnalytic(cost.PeakBytes, cost.FinalBytes)
 		line := fmt.Sprintf("replicate %d: cpu=%v peak=%s",
 			i, cost.CPU.Round(time.Millisecond), resource.FormatBytes(cost.PeakBytes))
 		if rep.Test.Anomalous != nil {
@@ -205,20 +294,20 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 	return nil
 }
 
-func loadReplicates(dataPath, trainPath, testPath string, n int, seed uint64) ([]frac.Replicate, error) {
+func loadReplicates(dataPath, trainPath, testPath string, n int, seed uint64, rec *obs.Recorder) ([]frac.Replicate, error) {
 	switch {
 	case dataPath != "" && trainPath == "" && testPath == "":
-		pool, err := frac.ReadDatasetFile(dataPath)
+		pool, err := readDataset(dataPath, rec)
 		if err != nil {
 			return nil, err
 		}
 		return frac.MakeReplicates(pool, n, 2.0/3, frac.NewRNG(seed).Stream("splits"))
 	case dataPath == "" && trainPath != "" && testPath != "":
-		train, err := frac.ReadDatasetFile(trainPath)
+		train, err := readDataset(trainPath, rec)
 		if err != nil {
 			return nil, err
 		}
-		test, err := frac.ReadDatasetFile(testPath)
+		test, err := readDataset(testPath, rec)
 		if err != nil {
 			return nil, err
 		}

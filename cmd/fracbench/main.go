@@ -5,6 +5,13 @@
 // Example:
 //
 //	fracbench -scale 32 -replicates 5 all
+//
+// Each exhibit is timed honestly: -warmup discarded warmup passes followed
+// by -iters measured passes, with min/median/mean wall time (and allocator
+// traffic) written to BENCH_results.json alongside a run manifest and the
+// per-variant time/memory fractions of full FRaC that Tables III–V report.
+// Telemetry flags (-progress, -metrics-out, -pprof-cpu, -pprof-heap,
+// -trace, -version) match the frac command.
 package main
 
 import (
@@ -13,49 +20,140 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
 	"frac/internal/eval"
+	"frac/internal/obs"
 )
 
-// exhibitCost is one BENCH_results.json entry: the wall time and allocator
-// traffic of regenerating one exhibit ("op" = one full regeneration).
+// exhibitCost is one BENCH_results.json exhibit entry: wall-time statistics
+// over the measured iterations plus the allocator traffic of the last one.
+// ns_op is the median, the robust center the repo's perf trajectory tracks
+// across PRs (it was the single-shot wall time before warmup existed).
 type exhibitCost struct {
-	NsPerOp     int64  `json:"ns_op"`
+	Warmup      int    `json:"warmup"`
+	Iters       int    `json:"iters"`
+	NsOp        int64  `json:"ns_op"` // median of the measured iterations
+	MinNs       int64  `json:"min_ns"`
+	MeanNs      int64  `json:"mean_ns"`
+	MaxNs       int64  `json:"max_ns"`
 	AllocsPerOp uint64 `json:"allocs_op"`
 	BytesPerOp  uint64 `json:"bytes_op"`
 }
 
-// benchResults accumulates exhibit costs in run order for the perf
-// trajectory the repo's BENCH_*.json files track across PRs.
-var benchResults = map[string]exhibitCost{}
-
-// measured wraps an exhibit regeneration with wall-clock and allocator
-// accounting.
-func measured(name string, fn func() error) error {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	err := fn()
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	benchResults[name] = exhibitCost{
-		NsPerOp:     elapsed.Nanoseconds(),
-		AllocsPerOp: after.Mallocs - before.Mallocs,
-		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
-	}
-	return err
+// variantFraction is one per-variant cost row: time and memory as fractions
+// of the full-FRaC baseline, exactly as the paper's Tables III–V report.
+type variantFraction struct {
+	Table    string  `json:"table"`
+	Dataset  string  `json:"dataset,omitempty"`
+	Variant  string  `json:"variant"`
+	AUCFrac  float64 `json:"auc_frac,omitempty"`
+	RawAUC   float64 `json:"raw_auc,omitempty"`
+	TimeFrac float64 `json:"time_frac"`
+	MemFrac  float64 `json:"mem_frac"`
 }
 
-func writeBenchResults(path string) error {
-	if path == "" || len(benchResults) == 0 {
+// benchDoc is the BENCH_results.json document.
+type benchDoc struct {
+	Manifest         *obs.Manifest          `json:"manifest,omitempty"`
+	Exhibits         map[string]exhibitCost `json:"exhibits"`
+	VariantFractions []variantFraction      `json:"variant_fractions,omitempty"`
+}
+
+// bench carries the regeneration state: harness options, iteration policy,
+// and the accumulating results document.
+type bench struct {
+	opts   eval.Options
+	warmup int
+	iters  int
+	doc    benchDoc
+}
+
+// measured regenerates one exhibit warmup+iters times, timing each measured
+// pass. Only the final pass writes table output (warmups and earlier
+// iterations run quiet), so stdout shows each exhibit once while the
+// statistics come from steady-state passes.
+func (b *bench) measured(name string, fn func(o eval.Options) error) error {
+	quiet := b.opts
+	quiet.Out = io.Discard
+	for w := 0; w < b.warmup; w++ {
+		if err := fn(quiet); err != nil {
+			return err
+		}
+	}
+	iters := b.iters
+	if iters < 1 {
+		iters = 1
+	}
+	durations := make([]int64, 0, iters)
+	var cost exhibitCost
+	for it := 0; it < iters; it++ {
+		o := quiet
+		if it == iters-1 {
+			o = b.opts // the final pass prints
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := fn(o)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return err
+		}
+		durations = append(durations, elapsed.Nanoseconds())
+		cost.AllocsPerOp = after.Mallocs - before.Mallocs
+		cost.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	cost.Warmup = b.warmup
+	cost.Iters = iters
+	cost.MinNs = durations[0]
+	cost.MaxNs = durations[len(durations)-1]
+	cost.NsOp = durations[len(durations)/2]
+	var sum int64
+	for _, d := range durations {
+		sum += d
+	}
+	cost.MeanNs = sum / int64(len(durations))
+	b.doc.Exhibits[name] = cost
+	return nil
+}
+
+// recordVariantRows folds Table III/IV rows into the fractions section.
+func (b *bench) recordVariantRows(table string, rows []eval.VariantRow) {
+	for _, r := range rows {
+		b.doc.VariantFractions = append(b.doc.VariantFractions, variantFraction{
+			Table: table, Dataset: r.Dataset, Variant: r.Variant,
+			AUCFrac: r.AUCFrac, RawAUC: r.RawAUC,
+			TimeFrac: r.TimeFrac, MemFrac: r.MemFrac,
+		})
+	}
+}
+
+// recordTable5Rows folds the schizophrenia-scale rows into the fractions
+// section (Table V reports method-level rows, not per-dataset ones).
+func (b *bench) recordTable5Rows(rows []eval.Table5Row) {
+	for _, r := range rows {
+		b.doc.VariantFractions = append(b.doc.VariantFractions, variantFraction{
+			Table: "table5", Variant: r.Method, RawAUC: r.AUC,
+			TimeFrac: r.TimeFrac, MemFrac: r.MemFrac,
+		})
+	}
+}
+
+func (b *bench) writeResults(path string) error {
+	if path == "" || len(b.doc.Exhibits) == 0 {
 		return nil
 	}
-	blob, err := json.MarshalIndent(benchResults, "", "  ")
+	blob, err := json.MarshalIndent(b.doc, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -63,36 +161,78 @@ func writeBenchResults(path string) error {
 }
 
 func main() {
-	opts := eval.Options{Out: os.Stdout}
-	flag.IntVar(&opts.Scale, "scale", 16, "divide the paper's feature counts by this factor")
-	flag.IntVar(&opts.Replicates, "replicates", 5, "train/test replicates per data set")
+	b := &bench{doc: benchDoc{Exhibits: map[string]exhibitCost{}}}
+	b.opts = eval.Options{Out: os.Stdout}
+	flag.IntVar(&b.opts.Scale, "scale", 16, "divide the paper's feature counts by this factor")
+	flag.IntVar(&b.opts.Replicates, "replicates", 5, "train/test replicates per data set")
 	seed := flag.Uint64("seed", 1, "root random seed")
-	flag.IntVar(&opts.Workers, "workers", 0, "parallel model trainings (0 = GOMAXPROCS)")
-	flag.Float64Var(&opts.FilterP, "filter-p", 0.05, "full-filtering keep fraction")
-	flag.IntVar(&opts.EnsembleMembers, "members", 10, "ensemble size")
-	flag.Float64Var(&opts.DiverseP, "diverse-p", 0.5, "diverse inclusion probability")
-	flag.Float64Var(&opts.DiverseEnsembleP, "diverse-ensemble-p", 1.0/20, "diverse ensemble member probability")
-	flag.IntVar(&opts.JLDim, "jl-dim", 1024, "JL dimension at paper scale (divided by -scale)")
-	flag.IntVar(&opts.JLRepeats, "jl-repeats", 10, "independent projections per JL point")
-	flag.IntVar(&opts.SweepParallel, "sweep-parallel", 1,
+	flag.IntVar(&b.opts.Workers, "workers", 0, "parallel model trainings (0 = GOMAXPROCS)")
+	flag.Float64Var(&b.opts.FilterP, "filter-p", 0.05, "full-filtering keep fraction")
+	flag.IntVar(&b.opts.EnsembleMembers, "members", 10, "ensemble size")
+	flag.Float64Var(&b.opts.DiverseP, "diverse-p", 0.5, "diverse inclusion probability")
+	flag.Float64Var(&b.opts.DiverseEnsembleP, "diverse-ensemble-p", 1.0/20, "diverse ensemble member probability")
+	flag.IntVar(&b.opts.JLDim, "jl-dim", 1024, "JL dimension at paper scale (divided by -scale)")
+	flag.IntVar(&b.opts.JLRepeats, "jl-repeats", 10, "independent projections per JL point")
+	flag.IntVar(&b.opts.SweepParallel, "sweep-parallel", 1,
 		"concurrent variant-sweep cells (1 = sequential; AUC columns are identical at any value)")
+	flag.IntVar(&b.warmup, "warmup", 1, "discarded warmup passes per exhibit (steady-state timing)")
+	flag.IntVar(&b.iters, "iters", 3, "measured passes per exhibit (min/median/mean reported)")
 	benchJSON := flag.String("bench-json", "BENCH_results.json",
-		"write per-exhibit ns/op, allocs/op, bytes/op to this file (empty disables)")
+		"write per-exhibit timing stats, variant cost fractions, and the run manifest to this file (empty disables)")
+	var tele obs.CLIFlags
+	tele.Register(flag.CommandLine)
 	flag.Parse()
-	opts.Seed = *seed
+	b.opts.Seed = *seed
 
-	// Interrupt (^C) or SIGTERM cancels the regeneration cooperatively:
-	// in-flight cells finish, later exhibits are skipped.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-	opts.Ctx = ctx
+	sess, err := tele.Start("fracbench", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
+		os.Exit(1)
+	}
+	if sess == nil { // -version
+		return
+	}
+	b.opts.Obs = sess.Rec
 
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
+	sess.Manifest.Variant = cmd
+	sess.Manifest.Seed = *seed
+	sess.Manifest.ConfigHash = obs.FlagConfigHash(
+		"cmd", cmd,
+		"scale", strconv.Itoa(b.opts.Scale),
+		"replicates", strconv.Itoa(b.opts.Replicates),
+		"seed", strconv.FormatUint(*seed, 10),
+		"workers", strconv.Itoa(b.opts.Workers),
+		"filter-p", strconv.FormatFloat(b.opts.FilterP, 'g', -1, 64),
+		"members", strconv.Itoa(b.opts.EnsembleMembers),
+		"diverse-p", strconv.FormatFloat(b.opts.DiverseP, 'g', -1, 64),
+		"diverse-ensemble-p", strconv.FormatFloat(b.opts.DiverseEnsembleP, 'g', -1, 64),
+		"jl-dim", strconv.Itoa(b.opts.JLDim),
+		"jl-repeats", strconv.Itoa(b.opts.JLRepeats),
+		"sweep-parallel", strconv.Itoa(b.opts.SweepParallel),
+		"warmup", strconv.Itoa(b.warmup),
+		"iters", strconv.Itoa(b.iters),
+	)
+	b.doc.Manifest = sess.Manifest
+
+	// Interrupt (^C) or SIGTERM cancels the regeneration cooperatively:
+	// in-flight cells finish, later exhibits are skipped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	b.opts.Ctx = ctx
+
 	start := time.Now()
-	if err := run(cmd, opts); err != nil {
+	err = run(cmd, b)
+	if werr := b.writeResults(*benchJSON); werr != nil && err == nil {
+		err = fmt.Errorf("writing %s: %w", *benchJSON, werr)
+	}
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "fracbench: canceled")
 			os.Exit(130)
@@ -100,50 +240,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
 		os.Exit(1)
 	}
-	if err := writeBenchResults(*benchJSON); err != nil {
-		fmt.Fprintf(os.Stderr, "fracbench: writing %s: %v\n", *benchJSON, err)
-		os.Exit(1)
-	}
 	fmt.Fprintf(os.Stderr, "fracbench: %s completed in %v\n", cmd, time.Since(start).Round(time.Millisecond))
 }
 
-func run(cmd string, opts eval.Options) error {
+func run(cmd string, b *bench) error {
 	needTable2 := func() (full []eval.Table2Row, err error) {
-		err = measured("table2", func() error {
-			full, err = eval.Table2(opts)
+		err = b.measured("table2", func(o eval.Options) error {
+			full, err = eval.Table2(o)
 			return err
 		})
 		return full, err
 	}
 	table1 := func() error {
-		return measured("table1", func() error { eval.Table1(opts); return nil })
+		return b.measured("table1", func(o eval.Options) error { eval.Table1(o); return nil })
 	}
 	fig1 := func() error {
-		return measured("fig1", func() error { eval.Fig1(opts); return nil })
+		return b.measured("fig1", func(o eval.Options) error { eval.Fig1(o); return nil })
 	}
 	fig2 := func() error {
-		return measured("fig2", func() error { _, err := eval.Fig2(opts); return err })
+		return b.measured("fig2", func(o eval.Options) error { _, err := eval.Fig2(o); return err })
 	}
 	fig3 := func() error {
-		return measured("fig3", func() error { _, err := eval.Fig3(opts); return err })
+		return b.measured("fig3", func(o eval.Options) error { _, err := eval.Fig3(o); return err })
 	}
 	baselines := func() error {
-		return measured("baselines", func() error { _, err := eval.Baselines(opts); return err })
+		return b.measured("baselines", func(o eval.Options) error { _, err := eval.Baselines(o); return err })
 	}
 	interpret := func() error {
-		return measured("interpret", func() error { _, err := eval.Interpretation(opts); return err })
+		return b.measured("interpret", func(o eval.Options) error { _, err := eval.Interpretation(o); return err })
 	}
 	table3 := func(full []eval.Table2Row) error {
-		return measured("table3", func() error { _, err := eval.Table3(full, opts); return err })
+		var rows []eval.VariantRow
+		err := b.measured("table3", func(o eval.Options) error {
+			var err error
+			rows, err = eval.Table3(full, o)
+			return err
+		})
+		if err == nil {
+			b.recordVariantRows("table3", rows)
+		}
+		return err
 	}
 	table4 := func(full []eval.Table2Row) error {
-		return measured("table4", func() error { _, err := eval.Table4(full, opts); return err })
+		var rows []eval.VariantRow
+		err := b.measured("table4", func(o eval.Options) error {
+			var err error
+			rows, err = eval.Table4(full, o)
+			return err
+		})
+		if err == nil {
+			b.recordVariantRows("table4", rows)
+		}
+		return err
 	}
 	table5 := func(full []eval.Table2Row) error {
-		return measured("table5", func() error { _, err := eval.Table5(full, opts); return err })
+		var rows []eval.Table5Row
+		err := b.measured("table5", func(o eval.Options) error {
+			var err error
+			rows, err = eval.Table5(full, o)
+			return err
+		})
+		if err == nil {
+			b.recordTable5Rows(rows)
+		}
+		return err
 	}
 	ablations := func(full []eval.Table2Row) error {
-		return measured("ablations", func() error { _, err := eval.Ablations(full, opts); return err })
+		return b.measured("ablations", func(o eval.Options) error { _, err := eval.Ablations(full, o); return err })
 	}
 	switch cmd {
 	case "table1":

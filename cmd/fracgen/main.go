@@ -8,7 +8,9 @@
 // Replicated profiles produce a single labeled pool file (use frac's
 // replicate machinery, or cmd/frac's -replicates flag, to split); the
 // confounded schizophrenia profile produces separate -train and -test
-// files.
+// files. Telemetry flags (-progress, -metrics-out, -pprof-cpu, -pprof-heap,
+// -trace, -version) match the frac command; generation is recorded as the
+// load phase, TSV encoding as bytes decoded.
 package main
 
 import (
@@ -19,9 +21,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 
 	"frac/internal/dataset"
+	"frac/internal/obs"
 	"frac/internal/synth"
 )
 
@@ -30,14 +34,37 @@ func main() {
 	scale := flag.Int("scale", 16, "divide the paper's feature counts by this factor")
 	profile := flag.String("profile", "", "generate only this profile (default: all)")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	var tele obs.CLIFlags
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := tele.Start("fracgen", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fracgen: %v\n", err)
+		os.Exit(1)
+	}
+	if sess == nil { // -version
+		return
+	}
+	sess.Manifest.Variant = *profile
+	sess.Manifest.Seed = *seed
+	sess.Manifest.ConfigHash = obs.FlagConfigHash(
+		"out", *out,
+		"scale", strconv.Itoa(*scale),
+		"profile", *profile,
+		"seed", strconv.FormatUint(*seed, 10),
+	)
 
 	// Interrupt (^C) or SIGTERM stops between profiles, so no TSV file is
 	// left half-written by a mid-stream kill of the generation loop.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *out, *scale, *profile, *seed); err != nil {
+	err = run(ctx, *out, *scale, *profile, *seed, sess.Rec)
+	if cerr := sess.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "fracgen: canceled")
 			os.Exit(130)
@@ -47,7 +74,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out string, scale int, only string, seed uint64) error {
+func run(ctx context.Context, out string, scale int, only string, seed uint64, rec *obs.Recorder) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -58,7 +85,7 @@ func run(ctx context.Context, out string, scale int, only string, seed uint64) e
 		if only != "" && p.Name != only {
 			continue
 		}
-		if err := writeProfile(out, p, scale, seed); err != nil {
+		if err := writeProfile(out, p, scale, seed, rec); err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}
 	}
@@ -70,28 +97,43 @@ func run(ctx context.Context, out string, scale int, only string, seed uint64) e
 	return nil
 }
 
-func writeProfile(out string, p synth.Profile, scale int, seed uint64) error {
+// writeDataset writes d to path and counts the encoded bytes.
+func writeDataset(path string, d *dataset.Dataset, rec *obs.Recorder) error {
+	if err := dataset.WriteFile(path, d); err != nil {
+		return err
+	}
+	if info, err := os.Stat(path); err == nil {
+		rec.Add(obs.CounterBytesDecoded, info.Size())
+	}
+	return nil
+}
+
+func writeProfile(out string, p synth.Profile, scale int, seed uint64, rec *obs.Recorder) error {
 	if p.Confounded {
+		span := rec.Start(obs.PhaseLoad)
 		train, test, err := p.GenerateSplit(scale, seed)
+		span.End()
 		if err != nil {
 			return err
 		}
-		if err := dataset.WriteFile(filepath.Join(out, p.Name+"-train.tsv"), train); err != nil {
+		if err := writeDataset(filepath.Join(out, p.Name+"-train.tsv"), train, rec); err != nil {
 			return err
 		}
-		if err := dataset.WriteFile(filepath.Join(out, p.Name+"-test.tsv"), test); err != nil {
+		if err := writeDataset(filepath.Join(out, p.Name+"-test.tsv"), test, rec); err != nil {
 			return err
 		}
 		fmt.Printf("%s: %d features, train %d / test %d samples -> %s-{train,test}.tsv\n",
 			p.Name, train.NumFeatures(), train.NumSamples(), test.NumSamples(), p.Name)
 		return nil
 	}
+	span := rec.Start(obs.PhaseLoad)
 	d, err := p.Generate(scale, seed)
+	span.End()
 	if err != nil {
 		return err
 	}
 	n, a := d.CountLabels()
-	if err := dataset.WriteFile(filepath.Join(out, p.Name+".tsv"), d); err != nil {
+	if err := writeDataset(filepath.Join(out, p.Name+".tsv"), d, rec); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d features, %d normal + %d anomalous samples -> %s.tsv\n",

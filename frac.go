@@ -46,6 +46,7 @@ import (
 	"frac/internal/csax"
 	"frac/internal/dataset"
 	"frac/internal/jl"
+	"frac/internal/obs"
 	"frac/internal/parallel"
 	"frac/internal/resource"
 	"frac/internal/rng"
@@ -107,11 +108,23 @@ type (
 	// Limit is a bounded compute pool shared by concurrent runs (set it as
 	// Config.Limit so nested fan-outs cannot oversubscribe the machine).
 	Limit = parallel.Limit
+	// Recorder is the run-telemetry collector (set it as Config.Obs to get
+	// phase spans, term counters, pool occupancy, and progress accounting;
+	// nil disables telemetry with zero overhead). Telemetry observes only:
+	// scores are bit-identical with it on or off.
+	Recorder = obs.Recorder
+	// RunMetrics is the structured telemetry snapshot a Recorder renders
+	// (the run_metrics.json document).
+	RunMetrics = obs.Metrics
 )
 
 // NewLimit returns a compute pool admitting n concurrent units of term-level
 // work (< 1 means GOMAXPROCS).
 func NewLimit(n int) *Limit { return parallel.NewLimit(n) }
+
+// NewRecorder returns an enabled telemetry recorder (default per-term span
+// sampling). Attach it via Config.Obs and pools via Limit.Instrument.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Filter methods.
 const (

@@ -49,5 +49,5 @@ func RunBootstrapEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, 
 	if err != nil {
 		return nil, err
 	}
-	return CombineResults(results, CombineMedian)
+	return combineObserved(results, CombineMedian, cfg.Obs)
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"frac/internal/dataset"
+	"frac/internal/obs"
 	"frac/internal/parallel"
 	"frac/internal/rng"
 	"frac/internal/stats"
@@ -171,7 +172,7 @@ func runMembers(ctx context.Context, spec EnsembleSpec, cfg Config, member func(
 	cfg = cfg.withDefaults()
 	par := spec.memberParallel(cfg)
 	if par > 1 && cfg.Limit == nil {
-		cfg.Limit = parallel.NewLimit(cfg.Workers)
+		cfg.Limit = parallel.NewLimit(cfg.Workers).Instrument(cfg.Obs)
 	}
 	members := make([]*Result, spec.Members)
 	seedRoot := rng.New(cfg.Seed)
@@ -216,7 +217,16 @@ func RunFilterEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, met
 	if err != nil {
 		return nil, err
 	}
-	return CombineResults(members, spec.Combine)
+	return combineObserved(members, spec.Combine, cfg.Obs)
+}
+
+// combineObserved is CombineResults wrapped in the ensemble-combine phase
+// span and member counter.
+func combineObserved(members []*Result, method CombineMethod, rec *obs.Recorder) ([]float64, error) {
+	span := rec.Start(obs.PhaseCombine)
+	defer span.End()
+	rec.Add(obs.CounterMembersCombined, int64(len(members)))
+	return CombineResults(members, method)
 }
 
 // RunDiverseEnsemble runs Members independent diverse FRaCs (inclusion
@@ -236,5 +246,5 @@ func RunDiverseEnsembleCtx(ctx context.Context, train, test *dataset.Dataset, p 
 	if err != nil {
 		return nil, err
 	}
-	return CombineResults(members, spec.Combine)
+	return combineObserved(members, spec.Combine, cfg.Obs)
 }

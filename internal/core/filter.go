@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"frac/internal/dataset"
+	"frac/internal/obs"
 	"frac/internal/parallel"
 	"frac/internal/rng"
 	"frac/internal/stats"
@@ -95,9 +96,13 @@ func RunFullFiltered(train, test *dataset.Dataset, method FilterMethod, p float6
 
 // RunFullFilteredCtx is RunFullFiltered with cooperative cancellation.
 func RunFullFilteredCtx(ctx context.Context, train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
+	span := cfg.Obs.Start(obs.PhaseFilter)
 	kept := SelectFilter(train, method, p, src)
 	trainF := train.SelectFeatures(kept)
 	testF := test.SelectFeatures(kept)
+	span.End()
+	cfg.Obs.Add(obs.CounterFeaturesKept, int64(len(kept)))
+	cfg.Obs.Add(obs.CounterFeaturesDropped, int64(train.NumFeatures()-len(kept)))
 	if cfg.Tracker != nil {
 		b := trainF.Bytes() + testF.Bytes()
 		cfg.Tracker.Alloc(b)
@@ -120,7 +125,11 @@ func RunPartialFiltered(train, test *dataset.Dataset, method FilterMethod, p flo
 
 // RunPartialFilteredCtx is RunPartialFiltered with cooperative cancellation.
 func RunPartialFilteredCtx(ctx context.Context, train, test *dataset.Dataset, method FilterMethod, p float64, src *rng.Source, cfg Config) (*Result, []int, error) {
+	span := cfg.Obs.Start(obs.PhaseFilter)
 	kept := SelectFilter(train, method, p, src)
+	span.End()
+	cfg.Obs.Add(obs.CounterFeaturesKept, int64(len(kept)))
+	cfg.Obs.Add(obs.CounterFeaturesDropped, int64(train.NumFeatures()-len(kept)))
 	res, err := RunCtx(ctx, train, test, PartialTerms(kept, train.NumFeatures()), cfg)
 	if err != nil {
 		return nil, nil, err

@@ -9,6 +9,7 @@ import (
 
 	"frac/internal/dataset"
 	"frac/internal/linalg"
+	"frac/internal/obs"
 	"frac/internal/parallel"
 	"frac/internal/resource"
 	"frac/internal/rng"
@@ -42,6 +43,11 @@ type Config struct {
 	// oversubscribe the machine. Nil means each run bounds itself by Workers
 	// alone.
 	Limit *parallel.Limit
+	// Obs, when non-nil, receives the run's telemetry: phase spans, sampled
+	// per-term spans, term counters, and progress accounting. Nil (the
+	// default) disables telemetry with zero overhead and zero allocations —
+	// the recorder only observes, so enabling it never changes scores.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -148,17 +154,22 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Con
 	}
 	m := &Model{cfg: cfg, schema: train.Schema, terms: make([]termModel, len(terms))}
 	streams := termStreams(rng.New(cfg.Seed), terms)
+	phase := cfg.Obs.Start(obs.PhaseTrain)
+	defer phase.End()
+	cfg.Obs.AddPlanned(int64(len(terms)))
 	err := parallel.ForWorkersWithStateErr(ctx, len(terms), cfg.Workers, cfg.Limit,
 		func(int) *trainScratch { return new(trainScratch) },
 		func(ti int, sc *trainScratch) error {
 			var tm termModel
 			var err error
+			span := cfg.Obs.StartSampled(obs.PhaseTermTrain)
 			task := func() { tm, err = trainTerm(train, terms[ti], cfg, streams[ti], sc) }
 			if cfg.Tracker != nil {
 				cfg.Tracker.TimeTask(task)
 			} else {
 				task()
 			}
+			span.End()
 			if err != nil {
 				return fmt.Errorf("term %d: %w", ti, err)
 			}
@@ -166,6 +177,7 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Con
 			if cfg.Tracker != nil {
 				cfg.Tracker.Alloc(tm.bytes())
 			}
+			cfg.Obs.Add(obs.CounterTermsTrained, 1)
 			return nil
 		})
 	if err != nil {
@@ -567,15 +579,21 @@ func (m *Model) ScoreDatasetCtx(ctx context.Context, test *dataset.Dataset) (*Sc
 	for i := range m.terms {
 		ss.Terms[i] = m.terms[i].term
 	}
+	phase := m.cfg.Obs.Start(obs.PhaseScore)
+	defer phase.End()
+	m.cfg.Obs.AddPlanned(int64(len(m.terms)))
 	err := parallel.ForWorkersWithStateErr(ctx, len(m.terms), m.cfg.Workers, m.cfg.Limit,
 		func(int) *scoreWorkspace { return new(scoreWorkspace) },
 		func(ti int, ws *scoreWorkspace) error {
+			span := m.cfg.Obs.StartSampled(obs.PhaseTermScore)
 			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws) }
 			if m.cfg.Tracker != nil {
 				m.cfg.Tracker.TimeTask(task)
 			} else {
 				task()
 			}
+			span.End()
+			m.cfg.Obs.Add(obs.CounterTermsScored, 1)
 			return nil
 		})
 	if err != nil {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"frac/internal/obs"
+	"frac/internal/rng"
+)
+
+// TestTelemetryDoesNotChangeScores is the observation-only guarantee: runs
+// with an enabled recorder (and an instrumented pool, at several worker
+// counts) must reproduce the golden fixed-seed scores bit for bit. Telemetry
+// never touches RNG streams, work distribution, or result slots.
+func TestTelemetryDoesNotChangeScores(t *testing.T) {
+	train, test := goldenTrainTest()
+
+	rec := obs.New()
+	rec.SetSampleEvery(1) // record every term span: maximum instrumentation
+	res, err := Run(train, test, FullTerms(train.NumFeatures()), Config{Seed: 42, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.Float64bits(s) != goldenCases[0].scores[i] {
+			t.Errorf("telemetry changed sample %d: score %v (bits 0x%016x), want bits 0x%016x",
+				i, s, math.Float64bits(s), goldenCases[0].scores[i])
+		}
+	}
+	nf := int64(train.NumFeatures())
+	if got := rec.Count(obs.CounterTermsTrained); got != nf {
+		t.Errorf("terms trained = %d, want %d", got, nf)
+	}
+	if got := rec.Count(obs.CounterTermsScored); got != nf {
+		t.Errorf("terms scored = %d, want %d", got, nf)
+	}
+	m := rec.Snapshot()
+	for _, phase := range []obs.Phase{obs.PhaseTrain, obs.PhaseScore, obs.PhaseTermTrain, obs.PhaseTermScore} {
+		if _, ok := m.Phases[phase.String()]; !ok {
+			t.Errorf("phase %q missing from snapshot", phase)
+		}
+	}
+	if m.Progress.PlannedTerms != 2*nf || m.Progress.CompletedTerms != 2*nf {
+		t.Errorf("progress = %+v, want %d/%d", m.Progress, 2*nf, 2*nf)
+	}
+
+	// The ensemble path exercises the instrumented shared pool; scores must
+	// stay golden at every scheduling shape and the gauges must drain.
+	for _, shape := range []struct{ parallel, workers int }{{1, 1}, {4, 1}, {2, 4}} {
+		rec := obs.New()
+		scores, err := RunFilterEnsembleCtx(context.Background(), train, test, RandomFilter, 0.6,
+			EnsembleSpec{Members: 4, Parallel: shape.parallel}, rng.New(99),
+			Config{Seed: 42, Workers: shape.workers, Obs: rec})
+		if err != nil {
+			t.Fatalf("parallel=%d workers=%d: %v", shape.parallel, shape.workers, err)
+		}
+		for i, s := range scores {
+			if math.Float64bits(s) != goldenEnsembleScores[i] {
+				t.Errorf("parallel=%d workers=%d sample %d: bits 0x%016x, want 0x%016x",
+					shape.parallel, shape.workers, i, math.Float64bits(s), goldenEnsembleScores[i])
+			}
+		}
+		if busy, waiting := rec.PoolGauges(); busy != 0 || waiting != 0 {
+			t.Errorf("parallel=%d workers=%d: pool gauges not quiescent: busy=%d waiting=%d",
+				shape.parallel, shape.workers, busy, waiting)
+		}
+		if got := rec.Count(obs.CounterMembersCombined); got != 4 {
+			t.Errorf("members combined = %d, want 4", got)
+		}
+		if rec.Count(obs.CounterFeaturesKept) == 0 {
+			t.Errorf("filter counters not recorded")
+		}
+		pm := rec.Snapshot().Pool
+		if pm == nil {
+			// Sequential members run without a shared pool; only parallel
+			// fan-out creates (and instruments) one.
+			if shape.parallel > 1 {
+				t.Fatal("parallel ensemble run has no pool metrics")
+			}
+			continue
+		}
+		if pm.Acquires != pm.Releases {
+			t.Errorf("unbalanced pool accounting: %d acquires vs %d releases", pm.Acquires, pm.Releases)
+		}
+		if pm.BusyPeak > pm.Capacity {
+			t.Errorf("busy peak %d exceeds capacity %d", pm.BusyPeak, pm.Capacity)
+		}
+	}
+}

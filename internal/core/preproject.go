@@ -7,6 +7,7 @@ import (
 	"frac/internal/dataset"
 	"frac/internal/encode"
 	"frac/internal/jl"
+	"frac/internal/obs"
 	"frac/internal/rng"
 )
 
@@ -43,6 +44,7 @@ func RunJLCtx(ctx context.Context, train, test *dataset.Dataset, spec JLSpec, sr
 		cfg.Learners = spec.Learners
 	}
 
+	span := cfg.Obs.Start(obs.PhaseProject)
 	enc := encode.Fit(train)
 	transform := jl.New(spec.Dim, enc.Width(), spec.Family, src.Stream("jl-matrix"))
 
@@ -54,6 +56,7 @@ func RunJLCtx(ctx context.Context, train, test *dataset.Dataset, spec JLSpec, sr
 	if err != nil {
 		return nil, err
 	}
+	span.End()
 	if cfg.Tracker != nil {
 		b := transform.Bytes() + projTrain.Bytes() + projTest.Bytes()
 		cfg.Tracker.Alloc(b)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"frac/internal/core"
+	"frac/internal/obs"
 	"frac/internal/rng"
 )
 
@@ -73,14 +74,18 @@ func TestConcurrentCancellationSoak(t *testing.T) {
 		t.Skip("soak test skipped in -short mode")
 	}
 	rep := expressionReplicate(t, 60, 53)
-	run := func(ctx context.Context) ([]float64, error) {
+	// Every soak run records telemetry, so cancellation is also soaking the
+	// pool accounting: after each run — completed or abandoned mid-queue —
+	// the occupancy gauges must drain to zero (no leaked in-flight state).
+	run := func(ctx context.Context, rec *obs.Recorder) ([]float64, error) {
 		return core.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, core.RandomFilter, 0.5,
-			core.EnsembleSpec{Members: 4, Parallel: 2}, rng.New(7), core.Config{Seed: 11, Workers: 4})
+			core.EnsembleSpec{Members: 4, Parallel: 2}, rng.New(7),
+			core.Config{Seed: 11, Workers: 4, Obs: rec})
 	}
 
 	// Reference result and full-run duration, for delay spacing.
 	start := time.Now()
-	ref, err := run(context.Background())
+	ref, err := run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,9 +102,18 @@ func TestConcurrentCancellationSoak(t *testing.T) {
 		delay := time.Duration(delays.Float64() * 1.2 * float64(full))
 		ctx, cancel := context.WithCancel(context.Background())
 		timer := time.AfterFunc(delay, cancel)
-		scores, err := run(ctx)
+		rec := obs.New()
+		scores, err := run(ctx, rec)
 		timer.Stop()
 		cancel()
+		if busy, waiting := rec.PoolGauges(); busy != 0 || waiting != 0 {
+			t.Fatalf("iter %d: pool gauges leaked after run (err=%v): busy=%d waiting=%d",
+				iter, err, busy, waiting)
+		}
+		if pm := rec.Snapshot().Pool; pm != nil && pm.Acquires != pm.Releases {
+			t.Fatalf("iter %d: unbalanced pool accounting (err=%v): %d acquires vs %d releases",
+				iter, err, pm.Acquires, pm.Releases)
+		}
 		switch {
 		case err == nil:
 			completed++

@@ -19,6 +19,7 @@ import (
 	"frac/internal/core"
 	"frac/internal/dataset"
 	"frac/internal/jl"
+	"frac/internal/obs"
 	"frac/internal/resource"
 	"frac/internal/rng"
 	"frac/internal/stats"
@@ -70,6 +71,12 @@ type Options struct {
 
 	// Out receives the rendered tables. Nil discards.
 	Out io.Writer
+
+	// Obs, when non-nil, collects harness telemetry: phase spans, term
+	// counters, pool occupancy, and progress accounting across every cell of
+	// every exhibit. Telemetry only observes, so all table values are
+	// identical with and without it.
+	Obs *obs.Recorder
 }
 
 // WithDefaults fills unset fields with the paper's settings.
@@ -141,6 +148,7 @@ func configFor(p synth.Profile, o Options, tracker *resource.Tracker) core.Confi
 		Workers: o.Workers,
 		Seed:    o.Seed ^ 0xfeed,
 		Tracker: tracker,
+		Obs:     o.Obs,
 	}
 	if p.SNP {
 		cfg.Learners = core.TreeLearners(tree.Params{})
@@ -155,8 +163,11 @@ func configFor(p synth.Profile, o Options, tracker *resource.Tracker) core.Confi
 }
 
 // replicatesFor generates a profile's sample pool and its train/test
-// replicates.
+// replicates. Generation counts as the load phase for telemetry — it is the
+// harness's equivalent of reading a data set off disk.
 func replicatesFor(p synth.Profile, o Options) ([]dataset.Replicate, error) {
+	span := o.Obs.Start(obs.PhaseLoad)
+	defer span.End()
 	if p.Confounded {
 		train, test, err := p.GenerateSplit(o.Scale, o.Seed)
 		if err != nil {
@@ -187,6 +198,7 @@ func runScored(ctx context.Context, p synth.Profile, o Options, rep dataset.Repl
 		return 0, resource.Cost{}, err
 	}
 	cost = tracker.Stop()
+	o.Obs.SetAnalytic(cost.PeakBytes, cost.FinalBytes)
 	if err := core.SanityCheckScores(scores); err != nil {
 		return 0, cost, err
 	}

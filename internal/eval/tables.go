@@ -217,7 +217,7 @@ func RunVariants(p synth.Profile, full Table2Row, specs []VariantSpec, o Options
 	if par > 1 && len(cells) > 1 {
 		// Concurrent cells share one term-level compute pool so total
 		// parallelism stays at Workers, not cells x Workers.
-		limit = parallel.NewLimit(o.Workers)
+		limit = parallel.NewLimit(o.Workers).Instrument(o.Obs)
 	}
 	err = parallel.ForWorkersErr(o.ctx(), len(cells), par, func(ci int) error {
 		si, ri := ci/len(reps), ci%len(reps)

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build metadata stamped at link time, e.g.
+//
+//	go build -ldflags "-X frac/internal/obs.version=v1.2.0 \
+//	    -X frac/internal/obs.commit=$(git rev-parse --short HEAD) \
+//	    -X frac/internal/obs.date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" ./cmd/...
+//
+// When the variables are left unset, BuildInfo falls back to the module
+// metadata Go embeds in every binary (runtime/debug.ReadBuildInfo), so even
+// a plain `go build` binary reports its VCS revision.
+var (
+	version string
+	commit  string
+	date    string
+)
+
+// Build describes the running binary for -version output and run manifests.
+type Build struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	Date      string `json:"date,omitempty"`
+	GoVersion string `json:"go_version"`
+	Modified  bool   `json:"modified,omitempty"` // VCS tree was dirty at build
+}
+
+// BuildInfo resolves the binary's build identity: ldflags-stamped values
+// win; otherwise the embedded module/VCS metadata fills in; "dev"/"unknown"
+// mark fields nothing could determine.
+func BuildInfo() Build {
+	b := Build{Version: version, Commit: commit, Date: date, GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if b.Version == "" && info.Main.Version != "" && info.Main.Version != "(devel)" {
+			b.Version = info.Main.Version
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if b.Commit == "" {
+					b.Commit = s.Value
+				}
+			case "vcs.time":
+				if b.Date == "" {
+					b.Date = s.Value
+				}
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	if b.Version == "" {
+		b.Version = "dev"
+	}
+	if b.Commit == "" {
+		b.Commit = "unknown"
+	}
+	return b
+}
+
+// String renders the one-line -version output.
+func (b Build) String() string {
+	commit := b.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if b.Modified {
+		commit += "+dirty"
+	}
+	s := fmt.Sprintf("%s (commit %s, %s)", b.Version, commit, b.GoVersion)
+	if b.Date != "" {
+		s = fmt.Sprintf("%s (commit %s, built %s, %s)", b.Version, commit, b.Date, b.GoVersion)
+	}
+	return s
+}

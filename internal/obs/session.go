@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// CLIFlags is the telemetry flag bundle shared by the frac, fracbench, and
+// fracgen commands, so every binary exposes the same observability surface.
+type CLIFlags struct {
+	Version    bool
+	Progress   bool
+	MetricsOut string
+	PprofCPU   string
+	PprofHeap  string
+	Trace      string
+}
+
+// Register installs the flags on fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Version, "version", false, "print version/build info and exit")
+	fs.BoolVar(&f.Progress, "progress", false, "emit a live progress/ETA line to stderr")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write run metrics + manifest JSON to this file (e.g. run_metrics.json)")
+	fs.StringVar(&f.PprofCPU, "pprof-cpu", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&f.PprofHeap, "pprof-heap", "", "write a heap profile at run end to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace of the run to this file")
+}
+
+// Enabled reports whether any flag requests telemetry collection.
+func (f *CLIFlags) Enabled() bool { return f.Progress || f.MetricsOut != "" }
+
+// Session is the run-scoped telemetry lifecycle of one CLI invocation: it
+// owns the recorder (nil when telemetry is off), the run manifest, the
+// progress loop, and any requested profiles, and writes the metrics file at
+// Close. Profiling flags work with or without metrics collection.
+type Session struct {
+	// Rec is nil when neither -progress nor -metrics-out was given; passing
+	// it through Config.Obs is then free.
+	Rec *Recorder
+	// Manifest is pre-filled with environment fields; the command fills
+	// Variant/Seed/ConfigHash/Dataset before Close.
+	Manifest *Manifest
+
+	flags        CLIFlags
+	stopProgress func()
+	cpuFile      *os.File
+	traceFile    *os.File
+}
+
+// Start begins a telemetry session for the given tool name. It prints
+// version info and returns (nil, nil) when -version was requested — the
+// caller should exit successfully on a nil session. Profiles start
+// immediately so they bracket the whole run.
+func (f *CLIFlags) Start(tool string, progressOut io.Writer) (*Session, error) {
+	if f.Version {
+		fmt.Printf("%s version %s\n", tool, BuildInfo())
+		return nil, nil
+	}
+	s := &Session{flags: *f, Manifest: NewManifest(tool), stopProgress: func() {}}
+	if f.Enabled() {
+		s.Rec = New()
+	}
+	if f.PprofCPU != "" {
+		cf, err := os.Create(f.PprofCPU)
+		if err != nil {
+			return nil, fmt.Errorf("-pprof-cpu: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("-pprof-cpu: %w", err)
+		}
+		s.cpuFile = cf
+	}
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			s.abortProfiles()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(tf); err != nil {
+			tf.Close()
+			s.abortProfiles()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		s.traceFile = tf
+	}
+	if f.Progress {
+		if progressOut == nil {
+			progressOut = os.Stderr
+		}
+		s.stopProgress = s.Rec.StartProgress(tool, progressOut, 500*time.Millisecond)
+	}
+	return s, nil
+}
+
+// abortProfiles unwinds partially started profiles on a Start error.
+func (s *Session) abortProfiles() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+}
+
+// Close finalizes the session: stops the progress loop, stops and flushes
+// profiles, writes the heap profile if requested, and writes the metrics
+// document. Safe on a nil session (the -version path). Errors are joined so
+// a failing metrics write cannot hide a failing profile flush.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.stopProgress()
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.flags.PprofHeap != "" {
+		keep(writeHeapProfile(s.flags.PprofHeap))
+	}
+	if s.flags.MetricsOut != "" && s.Rec != nil {
+		m := s.Rec.Snapshot()
+		m.Manifest = s.Manifest
+		keep(m.WriteFile(s.flags.MetricsOut))
+	}
+	return firstErr
+}
+
+// writeHeapProfile captures an up-to-date heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-pprof-heap: %w", err)
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-pprof-heap: %w", err)
+	}
+	return f.Close()
+}

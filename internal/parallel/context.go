@@ -6,6 +6,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"frac/internal/obs"
 )
 
 // This file is the cancellable, race-clean layer of the work-distribution
@@ -39,6 +42,11 @@ func (e *PanicError) Error() string {
 // same Limit; that would deadlock. Only leaf work acquires.
 type Limit struct {
 	sem chan struct{}
+	// rec, when non-nil, receives pool telemetry: occupancy gauges, the
+	// queue-wait histogram, and acquire/cancel counters. Telemetry observes
+	// token flow without adding synchronization, so an instrumented Limit
+	// schedules work exactly like a bare one.
+	rec *obs.Recorder
 }
 
 // NewLimit returns a Limit admitting n concurrent token holders (< 1 means
@@ -50,24 +58,57 @@ func NewLimit(n int) *Limit {
 	return &Limit{sem: make(chan struct{}, n)}
 }
 
+// Instrument attaches a telemetry recorder to the pool and returns the pool
+// for chaining. A nil recorder leaves the pool uninstrumented. Attach before
+// sharing the Limit across goroutines.
+func (l *Limit) Instrument(r *obs.Recorder) *Limit {
+	if r != nil {
+		l.rec = r
+		r.PoolCapacity(cap(l.sem))
+	}
+	return l
+}
+
 // Acquire blocks until a token is available or ctx is done, returning
 // ctx.Err() in the latter case.
+//
+// Accounting invariant: every PoolWaitBegin is closed out by exactly one of
+// PoolAcquired(blocked=true) or PoolWaitAbandoned — including when a
+// cancelled context abandons a queued acquire — so the waiting gauge always
+// returns to zero at quiescence and abandoned queue time still lands in the
+// wait histogram.
 func (l *Limit) Acquire(ctx context.Context) error {
 	select {
 	case l.sem <- struct{}{}:
+		l.rec.PoolAcquired(0, false)
 		return nil
 	default:
 	}
+	var begin time.Time
+	if l.rec != nil {
+		begin = time.Now()
+		l.rec.PoolWaitBegin()
+	}
 	select {
 	case l.sem <- struct{}{}:
+		if l.rec != nil {
+			l.rec.PoolAcquired(time.Since(begin), true)
+		}
 		return nil
 	case <-ctx.Done():
+		if l.rec != nil {
+			l.rec.PoolWaitAbandoned(time.Since(begin))
+		}
 		return ctx.Err()
 	}
 }
 
-// Release returns a token acquired with Acquire.
-func (l *Limit) Release() { <-l.sem }
+// Release returns a token acquired with Acquire. The busy gauge decrements
+// before the token frees, so observed occupancy never exceeds capacity.
+func (l *Limit) Release() {
+	l.rec.PoolReleased()
+	<-l.sem
+}
 
 // ForWorkersErr is the cancellable, error-propagating ForWorkers: it runs
 // fn(i) for every i in [0, n) on up to `workers` goroutines (< 1 means 1) and
