@@ -9,6 +9,7 @@
 package frac_test
 
 import (
+	"fmt"
 	"testing"
 
 	"frac"
@@ -228,6 +229,57 @@ func BenchmarkTrainTerm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := frac.Train(rep.Train, terms, frac.Config{Seed: 5}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// trainScaleDataset builds an all-real n x f training set with a shared
+// latent factor, the shape where full-FRaC training cost is dominated by the
+// f predictors-over-(f-1)-inputs — the regime the masked-column path
+// targets.
+func trainScaleDataset(n, f int, seed uint64) *frac.Dataset {
+	schema := make(frac.Schema, f)
+	for j := range schema {
+		schema[j] = frac.Feature{Name: "g", Kind: frac.Real}
+	}
+	d := frac.NewDataset("train-scale", schema, n)
+	src := frac.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		base := src.Normal(0, 1)
+		s := d.Sample(i)
+		for j := range s {
+			s[j] = base + src.Normal(0, 0.5)
+		}
+	}
+	return d
+}
+
+// BenchmarkTrainDataset sweeps full-FRaC training across feature scales for
+// both training paths. The gather path copies O(f) cells per term per fold
+// (O(f²) total traffic); the masked path reads the shared design cache in
+// place, so the gap must widen with f. The benchguard CI step compares these
+// timings against the committed BENCH_results.json baseline.
+func BenchmarkTrainDataset(b *testing.B) {
+	for _, f := range []int{64, 256, 1024} {
+		train := trainScaleDataset(32, f, 7)
+		terms := frac.FullTerms(f)
+		for _, path := range []struct {
+			name    string
+			disable bool
+		}{{"masked", false}, {"gather", true}} {
+			b.Run(fmt.Sprintf("f=%d/%s", f, path.name), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := frac.Config{Seed: 5, DisableMaskedTrain: path.disable}
+				for i := 0; i < b.N; i++ {
+					model, err := frac.Train(train, terms, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if model.NumTerms() != f {
+						b.Fatalf("%d terms", model.NumTerms())
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,6 +1,6 @@
 // Command fracbench regenerates the paper's evaluation exhibits over the
 // synthetic compendium. Subcommands: table1, table2, table3, table4, table5,
-// fig1, fig2, fig3, ablations, baselines, interpret, all.
+// fig1, fig2, fig3, ablations, baselines, interpret, train_scale, all.
 //
 // Example:
 //
@@ -65,6 +65,11 @@ type benchDoc struct {
 	Manifest         *obs.Manifest          `json:"manifest,omitempty"`
 	Exhibits         map[string]exhibitCost `json:"exhibits"`
 	VariantFractions []variantFraction      `json:"variant_fractions,omitempty"`
+	// GoBench holds the `go test -bench` ns/op baselines that the CI
+	// regression gate compares against (maintained by `benchguard -update`,
+	// not by fracbench — writeResults carries the section across
+	// regenerations).
+	GoBench map[string]float64 `json:"go_bench,omitempty"`
 }
 
 // bench carries the regeneration state: harness options, iteration policy,
@@ -149,9 +154,43 @@ func (b *bench) recordTable5Rows(rows []eval.Table5Row) {
 	}
 }
 
+// recordTrainScaleRows folds the train-scale sweep into the fractions
+// section: one masked-over-gather row per feature count.
+func (b *bench) recordTrainScaleRows(rows []eval.TrainScaleRow) {
+	gather := map[int]eval.TrainScaleRow{}
+	for _, r := range rows {
+		if !r.Masked {
+			gather[r.Features] = r
+		}
+	}
+	for _, r := range rows {
+		if !r.Masked {
+			continue
+		}
+		base, ok := gather[r.Features]
+		if !ok {
+			continue
+		}
+		timeFrac, memFrac := r.Cost.Frac(base.Cost)
+		b.doc.VariantFractions = append(b.doc.VariantFractions, variantFraction{
+			Table:    "train_scale",
+			Variant:  fmt.Sprintf("masked f=%d", r.Features),
+			TimeFrac: timeFrac, MemFrac: memFrac,
+		})
+	}
+}
+
 func (b *bench) writeResults(path string) error {
 	if path == "" || len(b.doc.Exhibits) == 0 {
 		return nil
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			GoBench map[string]float64 `json:"go_bench"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			b.doc.GoBench = old.GoBench
+		}
 	}
 	blob, err := json.MarshalIndent(b.doc, "", "  ")
 	if err != nil {
@@ -305,6 +344,18 @@ func run(cmd string, b *bench) error {
 		}
 		return err
 	}
+	trainScale := func() error {
+		var rows []eval.TrainScaleRow
+		err := b.measured("train_scale", func(o eval.Options) error {
+			var err error
+			rows, err = eval.TrainScale(o)
+			return err
+		})
+		if err == nil {
+			b.recordTrainScaleRows(rows)
+		}
+		return err
+	}
 	ablations := func(full []eval.Table2Row) error {
 		return b.measured("ablations", func(o eval.Options) error { _, err := eval.Ablations(full, o); return err })
 	}
@@ -340,6 +391,8 @@ func run(cmd string, b *bench) error {
 		return ablations(full)
 	case "baselines":
 		return baselines()
+	case "train_scale":
+		return trainScale()
 	case "interpret":
 		return interpret()
 	case "fig1":
@@ -380,8 +433,11 @@ func run(cmd string, b *bench) error {
 		if err := baselines(); err != nil {
 			return err
 		}
+		if err := trainScale(); err != nil {
+			return err
+		}
 		return interpret()
 	default:
-		return fmt.Errorf("unknown subcommand %q (want table1..table5, fig1..fig3, all)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want table1..table5, fig1..fig3, ablations, baselines, interpret, train_scale, all)", cmd)
 	}
 }

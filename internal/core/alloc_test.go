@@ -5,6 +5,7 @@ import (
 
 	"frac/internal/dataset"
 	"frac/internal/linalg"
+	"frac/internal/rng"
 )
 
 // raceDetectorEnabled is set by race_enabled_test.go under -race. The race
@@ -79,6 +80,73 @@ func TestPredictBatchZeroAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("term %d (%T) batch predict allocates %.1f per batch, want 0", ti, predictorOf(tm), allocs)
 		}
+	}
+}
+
+// TestTrainTermSteadyStateAllocs guards the training hot path: with a warm
+// per-worker scratch, training one real term allocates only what the trained
+// model retains (weights, statistics, error model) plus the fold partition —
+// never per-fold matrix copies or residual buffers. The masked path must
+// allocate no more than the gather path it replaces; the absolute ceilings
+// are generous so only a structural regression (a new per-fold allocation)
+// trips them.
+func TestTrainTermSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	train, _ := goldenTrainTest()
+	cfg := Config{Seed: 42}.withDefaults()
+	terms := FullTerms(train.NumFeatures())
+	dc := buildDesignCache(train, terms, cfg)
+	if dc.forTerm(0) == nil {
+		t.Fatal("fixture term 0 must be masked-eligible")
+	}
+	src := rng.New(1)
+	measure := func(label string, d *designCache) float64 {
+		t.Helper()
+		sc := new(trainScratch)
+		if _, err := trainTerm(train, terms[0], cfg, src, sc, d); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := trainTerm(train, terms[0], cfg, src, sc, d); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s: %.1f allocs/term", label, allocs)
+		return allocs
+	}
+	masked := measure("masked", dc)
+	gather := measure("gather", nil)
+	if masked > gather {
+		t.Errorf("masked path allocates %.1f/term, gather %.1f — masked must not allocate more", masked, gather)
+	}
+	if masked > 48 {
+		t.Errorf("masked path allocates %.1f/term, want <= 48 (model retention, entropy estimate, fold partition)", masked)
+	}
+	if gather > 96 {
+		t.Errorf("gather path allocates %.1f/term, want <= 96", gather)
+	}
+}
+
+// TestTrainMarginalTermSteadyStateAllocs pins the marginal fallback: its
+// residual buffer comes from the worker scratch, so a warm training allocates
+// only the constant predictor and the Gaussian error model.
+func TestTrainMarginalTermSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	train, _ := goldenTrainTest()
+	cfg := Config{Seed: 42}.withDefaults()
+	term := Term{Target: 0, Orig: 0, Inputs: nil} // no inputs → marginal
+	src := rng.New(1)
+	sc := new(trainScratch)
+	if _, err := trainTerm(train, term, cfg, src, sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := trainTerm(train, term, cfg, src, sc, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 6 {
+		t.Errorf("marginal term allocates %.1f per training, want <= 6 (scratch residuals)", allocs)
 	}
 }
 

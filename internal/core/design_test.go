@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"frac/internal/dataset"
+	"frac/internal/obs"
+	"frac/internal/rng"
+)
+
+// randomRealDataset builds an all-real dataset with correlated columns and a
+// configurable missingness pattern: each column independently becomes a
+// "holey" column with probability colMissP, and a holey column drops each
+// cell with probability cellMissP. Fully observed columns stay eligible as
+// masked targets; holey ones route their terms through the gather path, so
+// one dataset exercises both paths side by side.
+func randomRealDataset(name string, n, f int, colMissP, cellMissP float64, src *rng.Source) *dataset.Dataset {
+	schema := make(dataset.Schema, f)
+	for j := range schema {
+		schema[j] = dataset.Feature{Name: "r", Kind: dataset.Real}
+	}
+	d := dataset.New(name, schema, n)
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = src.Normal(0, 1)
+	}
+	holey := make([]bool, f)
+	for j := range holey {
+		holey[j] = src.Bernoulli(colMissP)
+	}
+	for i := 0; i < n; i++ {
+		s := d.Sample(i)
+		for j := range s {
+			// Half the columns track a shared latent signal so the SVR terms
+			// have something to learn; the rest are noise.
+			if j%2 == 0 {
+				s[j] = base[i]*(1+0.1*float64(j)) + src.Normal(0, 0.3)
+			} else {
+				s[j] = src.Normal(0, 1)
+			}
+			if holey[j] && src.Bernoulli(cellMissP) {
+				s[j] = dataset.Missing
+			}
+		}
+	}
+	return d
+}
+
+// TestMaskedTrainingBitIdentical is the masked-path equivalence property:
+// for random shapes, seeds, missingness patterns, and fold counts, training
+// with the shared design cache produces EXACTLY (Float64bits) the per-term
+// scores of the gather-and-copy path, while genuinely engaging the masked
+// path (the counters prove it did not trivially pass by falling back).
+func TestMaskedTrainingBitIdentical(t *testing.T) {
+	meta := rng.New(0xd151_dead)
+	var totalMasked, totalGathered int64
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + meta.IntN(32)
+		f := 2 + meta.IntN(10)
+		colMissP := []float64{0, 0.3, 0.6}[trial%3]
+		folds := []int{2, 3, 5}[meta.IntN(3)]
+		seed := meta.Uint64()
+		src := rng.New(meta.Uint64())
+		train := randomRealDataset("prop-train", n, f, colMissP, 0.2, src)
+		test := randomRealDataset("prop-test", 6, f, colMissP, 0.2, src)
+		terms := FullTerms(f)
+
+		cfg := Config{Seed: seed, CVFolds: folds, KDEError: trial%2 == 1, Workers: 1 + meta.IntN(4)}
+		rec := obs.New()
+		cfgMasked := cfg
+		cfgMasked.Obs = rec
+		masked, err := Run(train, test, terms, cfgMasked)
+		if err != nil {
+			t.Fatalf("trial %d masked run: %v", trial, err)
+		}
+		cfgGather := cfg
+		cfgGather.DisableMaskedTrain = true
+		gather, err := Run(train, test, terms, cfgGather)
+		if err != nil {
+			t.Fatalf("trial %d gather run: %v", trial, err)
+		}
+
+		for ti := range terms {
+			got, want := masked.PerTerm.Row(ti), gather.PerTerm.Row(ti)
+			for s := range got {
+				if math.Float64bits(got[s]) != math.Float64bits(want[s]) {
+					t.Fatalf("trial %d (n=%d f=%d folds=%d) term %d sample %d: masked %v (bits %016x), gather %v (bits %016x)",
+						trial, n, f, folds, ti, s,
+						got[s], math.Float64bits(got[s]), want[s], math.Float64bits(want[s]))
+				}
+			}
+		}
+		totalMasked += rec.Count(obs.CounterTermsMasked)
+		totalGathered += rec.Count(obs.CounterTermsGathered)
+	}
+	// The property must not hold vacuously: across the trials both paths ran.
+	if totalMasked == 0 {
+		t.Error("masked path never engaged — equivalence test is vacuous")
+	}
+	if totalGathered == 0 {
+		t.Error("gather path never engaged — missingness routing untested")
+	}
+}
+
+// TestMaskedTrainingWorkerInvariance: with the design cache enabled
+// (default), scores stay bit-identical across worker counts on the
+// mixed-schema golden fixture — the shared read-only cache must not
+// introduce any scheduling-dependent state.
+func TestMaskedTrainingWorkerInvariance(t *testing.T) {
+	train, test := goldenTrainTest()
+	terms := FullTerms(train.NumFeatures())
+	run := func(workers int) (*Result, *obs.Recorder) {
+		t.Helper()
+		rec := obs.New()
+		res, err := Run(train, test, terms, Config{Seed: 42, Workers: workers, Obs: rec})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, rec
+	}
+	ref, refRec := run(1)
+	if refRec.Count(obs.CounterTermsMasked) == 0 {
+		t.Fatal("golden fixture did not engage the masked path")
+	}
+	if refRec.Count(obs.CounterDesignCacheBytes) == 0 {
+		t.Error("design cache bytes not reported")
+	}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got, rec := run(w)
+		if rec.Count(obs.CounterTermsMasked) != refRec.Count(obs.CounterTermsMasked) {
+			t.Errorf("workers=%d: %d masked terms, want %d (eligibility must be scheduling-independent)",
+				w, rec.Count(obs.CounterTermsMasked), refRec.Count(obs.CounterTermsMasked))
+		}
+		for s := range got.Scores {
+			if math.Float64bits(got.Scores[s]) != math.Float64bits(ref.Scores[s]) {
+				t.Errorf("workers=%d sample %d: %v, want %v", w, s, got.Scores[s], ref.Scores[s])
+			}
+		}
+	}
+}
+
+// TestAllButOneShape pins the structural eligibility predicate.
+func TestAllButOneShape(t *testing.T) {
+	cases := []struct {
+		term Term
+		f    int
+		want bool
+	}{
+		{Term{Target: 1, Inputs: []int{0, 2, 3}}, 4, true},
+		{Term{Target: 0, Inputs: []int{1, 2, 3}}, 4, true},
+		{Term{Target: 3, Inputs: []int{0, 1, 2}}, 4, true},
+		{Term{Target: 1, Inputs: []int{0, 2}}, 4, false},    // too few
+		{Term{Target: 1, Inputs: []int{2, 0, 3}}, 4, false}, // wrong order
+		{Term{Target: 1, Inputs: []int{0, 3, 2}}, 4, false}, // wrong order
+		{Term{Target: 0, Inputs: nil}, 1, true},             // trivially all-but-one (f<2 gate rejects it)
+		{Term{Target: 0, Inputs: nil}, 2, false},            // marginal in a wider set
+		{Term{Target: 2, Inputs: []int{0, 1, 3}}, 5, false}, // subset of wider set
+	}
+	for i, tc := range cases {
+		if got := allButOneShape(tc.term, tc.f); got != tc.want {
+			t.Errorf("case %d: allButOneShape = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+// TestDiverseTermsStayOnGatherPath: diverse wirings are not all-but-one
+// shaped, so the design cache must leave them alone (nil cache → zero masked
+// terms, and the run still succeeds).
+func TestDiverseTermsStayOnGatherPath(t *testing.T) {
+	src := rng.New(5)
+	train := randomRealDataset("div-train", 24, 8, 0, 0, src)
+	test := randomRealDataset("div-test", 5, 8, 0, 0, src)
+	terms := DiverseTerms(8, 0.4, 1, rng.New(9))
+	rec := obs.New()
+	if _, err := Run(train, test, terms, Config{Seed: 3, Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Count(obs.CounterTermsMasked); got != 0 {
+		t.Errorf("%d diverse terms took the masked path, want 0", got)
+	}
+}

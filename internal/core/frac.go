@@ -48,6 +48,12 @@ type Config struct {
 	// default) disables telemetry with zero overhead and zero allocations —
 	// the recorder only observes, so enabling it never changes scores.
 	Obs *obs.Recorder
+	// DisableMaskedTrain forces every term through the legacy
+	// gather-and-copy training path. The masked-column path (shared design
+	// cache + skip kernels, DESIGN.md §10) is default-on and bit-identical,
+	// so this exists for A/B benchmarking and the equivalence tests, not as
+	// a correctness escape hatch.
+	DisableMaskedTrain bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,13 +163,25 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Con
 	phase := cfg.Obs.Start(obs.PhaseTrain)
 	defer phase.End()
 	cfg.Obs.AddPlanned(int64(len(terms)))
+	// The shared design cache (nil when no term qualifies) is built once and
+	// read-only during the fan-out; eligible terms train against it without
+	// gathering, so workers never materialize private f-wide matrices for
+	// them.
+	dc := buildDesignCache(train, terms, cfg)
+	if dc != nil {
+		cfg.Obs.Add(obs.CounterDesignCacheBytes, dc.bytes())
+		if cfg.Tracker != nil {
+			cfg.Tracker.Alloc(dc.bytes())
+			defer cfg.Tracker.Release(dc.bytes())
+		}
+	}
 	err := parallel.ForWorkersWithStateErr(ctx, len(terms), cfg.Workers, cfg.Limit,
 		func(int) *trainScratch { return new(trainScratch) },
 		func(ti int, sc *trainScratch) error {
 			var tm termModel
 			var err error
 			span := cfg.Obs.StartSampled(obs.PhaseTermTrain)
-			task := func() { tm, err = trainTerm(train, terms[ti], cfg, streams[ti], sc) }
+			task := func() { tm, err = trainTerm(train, terms[ti], cfg, streams[ti], sc, dc.forTerm(ti)) }
 			if cfg.Tracker != nil {
 				cfg.Tracker.TimeTask(task)
 			} else {
@@ -231,6 +249,17 @@ type trainScratch struct {
 	foldYI []int
 	idx    []int  // complement (training-row) indices of the current fold
 	mark   []bool // fold membership marks
+
+	// residuals accumulates the cross-validated residuals of one real term;
+	// fitRealError's models copy what they retain (the KDE clones its
+	// sample), so the buffer is reusable across terms.
+	residuals []float64
+
+	// masked holds the masked-path worker state (fold statistics, target
+	// buffer, SVR workspace). Terms routed through the design cache use it
+	// instead of x/foldX, so workers training only eligible terms never
+	// materialize private f-wide matrices at all.
+	masked maskedScratch
 }
 
 // gather copies the input columns of the selected rows into the scratch
@@ -307,8 +336,10 @@ func subIntsInto(dst []int, y []int, idx []int) []int {
 	return dst
 }
 
-// trainTerm fits one NS summand using the worker's scratch buffers.
-func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source, sc *trainScratch) (termModel, error) {
+// trainTerm fits one NS summand using the worker's scratch buffers. dc is
+// non-nil exactly when the term is eligible for the masked-column path
+// (TrainCtx resolves eligibility per term via designCache.forTerm).
+func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source, sc *trainScratch, dc *designCache) (termModel, error) {
 	feat := train.Schema[term.Target]
 	tm := termModel{term: term, isCat: feat.Kind == dataset.Categorical, arity: feat.Arity}
 
@@ -343,24 +374,31 @@ func trainTerm(train *dataset.Dataset, term Term, cfg Config, src *rng.Source, s
 		}
 		sc.yF = y
 		tm.entropy = continuousEntropy(y, cfg.Entropy)
-		trainRealTerm(&tm, train, term, rows, y, cfg, src, sc)
+		trainRealTerm(&tm, train, term, rows, y, cfg, src, sc, dc)
 	}
 	return tm, nil
 }
 
-func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []float64, cfg Config, src *rng.Source, sc *trainScratch) {
+func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, y []float64, cfg Config, src *rng.Source, sc *trainScratch, dc *designCache) {
 	useMarginal := len(rows) < cfg.MinObserved || len(term.Inputs) == 0
 	if useMarginal {
 		tm.real = marginalRealPredictor(y)
-		// Freshly allocated: the KDE error model retains its residuals.
-		resid := make([]float64, len(y))
+		// Scratch-backed: fitRealError's models copy what they retain.
+		resid := sc.residuals[:0]
 		mean := stats.Mean(y)
-		for i, v := range y {
-			resid[i] = v - mean
+		for _, v := range y {
+			resid = append(resid, v-mean)
 		}
+		sc.residuals = resid
 		tm.realErr = fitRealError(resid, cfg.KDEError)
 		return
 	}
+	if dc != nil && len(rows) == train.NumSamples() {
+		cfg.Obs.Add(obs.CounterTermsMasked, 1)
+		dc.trainRealTermMasked(tm, train, term, y, cfg, src, sc)
+		return
+	}
+	cfg.Obs.Add(obs.CounterTermsGathered, 1)
 	inputSchema := train.Schema.Select(term.Inputs)
 	x := sc.gather(train, rows, term.Inputs)
 	if cfg.Tracker != nil {
@@ -369,7 +407,7 @@ func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int,
 	}
 	// Cross-validated residuals for the error model.
 	folds := dataset.KFold(len(rows), cfg.CVFolds, src)
-	residuals := make([]float64, 0, len(rows))
+	residuals := sc.residuals[:0]
 	for fi, fold := range folds {
 		trIdx := sc.complement(len(rows), fold)
 		if len(trIdx) == 0 || len(fold) == 0 {
@@ -382,6 +420,7 @@ func trainRealTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int,
 			residuals = append(residuals, y[h]-p.Predict(x.Row(h)))
 		}
 	}
+	sc.residuals = residuals
 	if len(residuals) == 0 {
 		residuals = []float64{0}
 	}
@@ -400,6 +439,7 @@ func trainCatTerm(tm *termModel, train *dataset.Dataset, term Term, rows []int, 
 		tm.catErr = conf
 		return
 	}
+	cfg.Obs.Add(obs.CounterTermsGathered, 1)
 	inputSchema := train.Schema.Select(term.Inputs)
 	x := sc.gather(train, rows, term.Inputs)
 	if cfg.Tracker != nil {

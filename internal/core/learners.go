@@ -49,6 +49,13 @@ type Learners struct {
 	Name string
 	Real RealLearnerFunc
 	Cat  CatLearnerFunc
+	// MaskedSVR, when non-nil, declares that Real is SVRLearner with exactly
+	// these hyperparameters, unlocking the masked-column training path
+	// (DESIGN.md §10): eligible all-but-one real terms train against the
+	// shared design cache through skip kernels instead of gathering a matrix
+	// copy. The results are bit-identical; only the memory traffic changes.
+	// Custom Real learners must leave this nil.
+	MaskedSVR *svm.SVRParams
 }
 
 // PaperLearners returns the paper's §III.B configuration: linear SVMs for
@@ -61,10 +68,12 @@ func PaperLearners() Learners {
 // MixedLearners builds the SVR + decision-tree combination with explicit
 // hyperparameters.
 func MixedLearners(svrParams svm.SVRParams, treeParams tree.Params) Learners {
+	p := svrParams
 	return Learners{
-		Name: "svr+tree",
-		Real: SVRLearner(svrParams),
-		Cat:  TreeCatLearner(treeParams),
+		Name:      "svr+tree",
+		Real:      SVRLearner(svrParams),
+		Cat:       TreeCatLearner(treeParams),
+		MaskedSVR: &p,
 	}
 }
 
@@ -81,10 +90,12 @@ func TreeLearners(params tree.Params) Learners {
 // SVMLearners uses linear SVMs for both kinds (one-vs-rest SVC for
 // categorical targets).
 func SVMLearners(svrParams svm.SVRParams, svcParams svm.SVCParams) Learners {
+	p := svrParams
 	return Learners{
-		Name: "svm",
-		Real: SVRLearner(svrParams),
-		Cat:  SVCLearner(svcParams),
+		Name:      "svm",
+		Real:      SVRLearner(svrParams),
+		Cat:       SVCLearner(svcParams),
+		MaskedSVR: &p,
 	}
 }
 

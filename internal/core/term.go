@@ -104,7 +104,7 @@ func DiverseTerms(numFeatures int, p float64, predictorsPerFeature int, src *rng
 	terms := make([]Term, 0, numFeatures*predictorsPerFeature)
 	for i := 0; i < numFeatures; i++ {
 		for r := 0; r < predictorsPerFeature; r++ {
-			stream := src.StreamN(fmt.Sprintf("diverse-%d", i), r)
+			stream := src.StreamIndexedN("diverse-", i, r)
 			inputs := make([]int, 0, int(p*float64(numFeatures))+1)
 			for j := 0; j < numFeatures; j++ {
 				if j != i && stream.Bernoulli(p) {

@@ -135,3 +135,17 @@ func TestWiringMatrix(t *testing.T) {
 		t.Errorf("row 1 = %v", w[1])
 	}
 }
+
+// BenchmarkDiverseTerms measures wiring generation for diverse FRaC; the
+// per-feature stream derivation runs through rng.StreamIndexedN, so the only
+// allocations left are the term and input slices themselves.
+func BenchmarkDiverseTerms(b *testing.B) {
+	src := rng.New(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		terms := DiverseTerms(256, 0.1, 2, src)
+		if len(terms) != 512 {
+			b.Fatalf("%d terms", len(terms))
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/obs"
+	"frac/internal/resource"
+	"frac/internal/rng"
+	"frac/internal/svm"
+	"frac/internal/tree"
+)
+
+// TrainScaleRow is one cell of the train-scale sweep: full-FRaC training at
+// one feature count through one training path.
+type TrainScaleRow struct {
+	// Features is the swept feature count f (the training set is n=32 × f,
+	// all real — the n << f regime the masked path targets).
+	Features int
+	// Masked selects the shared-design-cache path; false forces the
+	// per-term gather path via Config.DisableMaskedTrain.
+	Masked bool
+	// Cost is the training cost of the cell (wall, CPU, analytic peak).
+	Cost resource.Cost
+}
+
+// trainScaleSamples is the fixed sample count of the sweep. Training cost is
+// dominated by f·(f−1) predictor inputs, so n stays small and constant while
+// f sweeps — the shape of the paper's expression data sets.
+const trainScaleSamples = 32
+
+// TrainScalePoints returns the swept feature counts: the paper-scale points
+// {1024, 4096, 16384} divided by Options.Scale (floored at 16, deduplicated),
+// so the default -scale 16 sweeps f ∈ {64, 256, 1024}.
+func TrainScalePoints(o Options) []int {
+	points := make([]int, 0, 3)
+	for _, paperF := range []int{1024, 4096, 16384} {
+		f := paperF / o.Scale
+		if f < 16 {
+			f = 16
+		}
+		if len(points) > 0 && points[len(points)-1] == f {
+			continue
+		}
+		points = append(points, f)
+	}
+	return points
+}
+
+// trainScaleDataset builds the all-real n × f training set of the sweep: a
+// shared per-sample latent factor plus feature noise, fully observed so every
+// term is masked-eligible.
+func trainScaleDataset(n, f int, seed uint64) *dataset.Dataset {
+	schema := make(dataset.Schema, f)
+	for j := range schema {
+		schema[j] = dataset.Feature{Name: "g", Kind: dataset.Real}
+	}
+	d := dataset.New("train-scale", schema, n)
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		base := src.Normal(0, 1)
+		row := d.Sample(i)
+		for j := range row {
+			row[j] = base + src.Normal(0, 0.5)
+		}
+	}
+	return d
+}
+
+// TrainScale regenerates the train-scale exhibit: full-FRaC training swept
+// across feature counts through both training paths, reporting the
+// masked-over-gather time and memory fractions per point. Both paths produce
+// bit-identical models (the design cache's exact-order contract), so only
+// cost differs; the gap must widen with f.
+func TrainScale(o Options) ([]TrainScaleRow, error) {
+	ctx := o.ctx()
+	points := TrainScalePoints(o)
+	rows := make([]TrainScaleRow, 0, 2*len(points))
+	w := o.out()
+	fprintf(w, "Train-scale sweep: full-FRaC training, n=%d, masked design cache vs per-term gather\n", trainScaleSamples)
+	fprintf(w, "%8s  %12s  %12s  %10s  %8s\n", "f", "masked", "gather", "peak frac", "speedup")
+	for _, f := range points {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		train := trainScaleDataset(trainScaleSamples, f, o.Seed^0x7a11)
+		terms := core.FullTerms(f)
+		var cell [2]resource.Cost
+		for pi, masked := range []bool{true, false} {
+			tracker := resource.NewTracker()
+			cfg := core.Config{
+				Workers: o.Workers,
+				Seed:    o.Seed ^ 0xfeed,
+				Tracker: tracker,
+				Obs:     o.Obs,
+				// The learners Table II–V use on expression profiles, so the
+				// sweep measures the path real runs take.
+				Learners:           core.MixedLearners(svm.SVRParams{C: 0.01}, tree.Params{}),
+				DisableMaskedTrain: !masked,
+			}
+			maskedBefore := o.Obs.Count(obs.CounterTermsMasked)
+			model, err := core.TrainCtx(ctx, train, terms, cfg)
+			if err != nil {
+				return rows, err
+			}
+			if model.NumTerms() != f {
+				return rows, fmt.Errorf("train-scale f=%d: trained %d terms", f, model.NumTerms())
+			}
+			if o.Obs.Enabled() {
+				delta := o.Obs.Count(obs.CounterTermsMasked) - maskedBefore
+				if masked && delta == 0 {
+					return rows, fmt.Errorf("train-scale f=%d: masked path did not engage", f)
+				}
+				if !masked && delta != 0 {
+					return rows, fmt.Errorf("train-scale f=%d: gather cell trained %d masked terms", f, delta)
+				}
+			}
+			cell[pi] = tracker.Stop()
+			rows = append(rows, TrainScaleRow{Features: f, Masked: masked, Cost: cell[pi]})
+		}
+		timeFrac, memFrac := cell[0].Frac(cell[1])
+		speedup := 0.0
+		if timeFrac > 0 {
+			speedup = 1 / timeFrac
+		}
+		fprintf(w, "%8d  %12v  %12v  %10.3f  %7.2fx\n",
+			f, cell[0].Wall.Round(time.Millisecond), cell[1].Wall.Round(time.Millisecond), memFrac, speedup)
+	}
+	return rows, nil
+}

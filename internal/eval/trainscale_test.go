@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"frac/internal/obs"
+)
+
+func TestTrainScalePoints(t *testing.T) {
+	cases := []struct {
+		scale int
+		want  []int
+	}{
+		{16, []int{64, 256, 1024}}, // the default: the paper-regime sweep
+		{64, []int{16, 64, 256}},
+		{1024, []int{16}}, // floored points deduplicate
+	}
+	for _, c := range cases {
+		o := Options{Scale: c.scale}.WithDefaults()
+		got := TrainScalePoints(o)
+		if len(got) != len(c.want) {
+			t.Fatalf("scale %d: points = %v, want %v", c.scale, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("scale %d: points = %v, want %v", c.scale, got, c.want)
+			}
+		}
+	}
+}
+
+// TestTrainScaleSweep runs the exhibit at a coarse scale: two rows per
+// point (masked then gather), positive costs, and engagement verified
+// through the telemetry counters.
+func TestTrainScaleSweep(t *testing.T) {
+	rec := obs.New()
+	o := Options{Scale: 1024, Seed: 3, Obs: rec, Out: &strings.Builder{}}.WithDefaults()
+	rows, err := TrainScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := TrainScalePoints(o)
+	if len(rows) != 2*len(points) {
+		t.Fatalf("%d rows for %d points", len(rows), len(points))
+	}
+	for i, r := range rows {
+		if wantMasked := i%2 == 0; r.Masked != wantMasked {
+			t.Errorf("row %d: Masked = %v, want %v", i, r.Masked, wantMasked)
+		}
+		if r.Features != points[i/2] {
+			t.Errorf("row %d: Features = %d, want %d", i, r.Features, points[i/2])
+		}
+		if r.Cost.CPU <= 0 || r.Cost.PeakBytes <= 0 {
+			t.Errorf("row %d: degenerate cost %+v", i, r.Cost)
+		}
+	}
+	if rec.Count(obs.CounterTermsMasked) == 0 {
+		t.Error("masked cells trained no masked terms")
+	}
+	if rec.Count(obs.CounterTermsGathered) == 0 {
+		t.Error("gather cells trained no gathered terms")
+	}
+}
+
+func TestTrainScaleHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Options{Ctx: ctx, Scale: 1024}.WithDefaults()
+	if _, err := TrainScale(o); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+}

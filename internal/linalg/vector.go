@@ -22,6 +22,69 @@ func Dot(x, y []float64) float64 {
 	return s
 }
 
+// DotSkip returns the inner product of x and y over every index except
+// skip, accumulating in ascending index order. The exact-FP-order contract:
+// the result is bit-identical to gathering the non-skip elements of both
+// vectors into dense buffers and calling Dot, because the partial-sum chain
+// visits the same values in the same order (DESIGN.md §10). skip must be in
+// [0, len(x)); the kernels panic otherwise so a masked-training bug cannot
+// silently fall back to a full product.
+func DotSkip(x, y []float64, skip int) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: DotSkip length mismatch %d vs %d", len(x), len(y)))
+	}
+	if skip < 0 || skip >= len(x) {
+		panic(fmt.Sprintf("linalg: DotSkip column %d out of [0,%d)", skip, len(x)))
+	}
+	var s float64
+	for i, v := range x[:skip] {
+		s += v * y[i]
+	}
+	for i := skip + 1; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// AxpySkip computes y[i] += a*x[i] for every index except skip, leaving
+// y[skip] untouched. Element updates are independent, so this is bit-
+// identical to gather-then-Axpy on the non-skip positions.
+func AxpySkip(a float64, x, y []float64, skip int) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AxpySkip length mismatch %d vs %d", len(x), len(y)))
+	}
+	if skip < 0 || skip >= len(x) {
+		panic(fmt.Sprintf("linalg: AxpySkip column %d out of [0,%d)", skip, len(x)))
+	}
+	if a == 0 {
+		return
+	}
+	for i, v := range x[:skip] {
+		y[i] += a * v
+	}
+	for i := skip + 1; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// SqNormSkip returns the squared Euclidean norm of x over every index except
+// skip, with the same ascending-order partial-sum chain as DotSkip(x, x,
+// skip) — bit-identical to gathering then Dot(v, v).
+func SqNormSkip(x []float64, skip int) float64 {
+	if skip < 0 || skip >= len(x) {
+		panic(fmt.Sprintf("linalg: SqNormSkip column %d out of [0,%d)", skip, len(x)))
+	}
+	var s float64
+	for _, v := range x[:skip] {
+		s += v * v
+	}
+	for i := skip + 1; i < len(x); i++ {
+		v := x[i]
+		s += v * v
+	}
+	return s
+}
+
 // Axpy computes y += a*x in place. It panics if the lengths differ.
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {

@@ -82,12 +82,24 @@ const (
 	CounterMembersCombined
 	// CounterBytesDecoded counts input bytes parsed (TSV / model loads).
 	CounterBytesDecoded
+	// CounterTermsMasked counts real terms trained through the masked-column
+	// path against the shared design cache (no gathered matrix copies).
+	CounterTermsMasked
+	// CounterTermsGathered counts non-marginal terms trained through the
+	// legacy gather-and-copy path (ineligible shapes, categorical targets,
+	// targets with missing values, or the cache disabled).
+	CounterTermsGathered
+	// CounterDesignCacheBytes accumulates the bytes of shared fold-resident
+	// design matrices built by Train calls (one shared standardized matrix
+	// per Train with eligible terms).
+	CounterDesignCacheBytes
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"terms_trained", "terms_scored", "features_kept", "features_dropped",
-	"members_combined", "bytes_decoded",
+	"members_combined", "bytes_decoded", "terms_masked_train",
+	"terms_gather_train", "design_cache_bytes",
 }
 
 // String returns the JSON key of the counter.

@@ -1,0 +1,298 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+// Masked-column SVR training: the all-but-one subproblems of FRaC share one
+// full-width design matrix and differ only in which column is the target, so
+// instead of gathering an n x (d-1) copy per term the trainer reads the
+// shared matrix in place through exact-order skip kernels. The float
+// sequence of every inner product is identical to gather-then-train
+// (DESIGN.md §10), so masked training is bit-for-bit equivalent to
+// TrainSVR on the gathered matrix — the property the pinned goldens and
+// TestMaskedTrainingBitIdentical enforce.
+//
+// Two view flavors cover FRaC's two training phases:
+//
+//   - A *standardized* view (Means == nil): X is already fully numeric,
+//     imputed and standardized — the per-Train shared design matrix. Rows
+//     are read directly with DotSkip/AxpySkip/SqNormSkip.
+//   - A *raw* view (Means != nil): X is the raw working matrix (NaN
+//     missing markers allowed) and each cell standardizes on the fly as
+//     ((v|mean) - mean) * scale, the exact per-cell formula of the
+//     impute+standardize pipeline, so cross-validation folds — whose
+//     statistics depend on the per-term fold partition — need no
+//     materialized matrix either.
+
+// MaskedView is a read-only, column-masked, optionally row-subset view of a
+// full-width design matrix. The zero Skip masks column 0; Rows == nil means
+// all rows of X in order.
+type MaskedView struct {
+	X    *linalg.Matrix
+	Rows []int // training-row subset; nil = every row
+	// Means/Scales enable the raw flavor: when Means is non-nil each cell
+	// (r, c) reads as ((x|Means[c]) - Means[c]) * Scales[c], with NaN cells
+	// imputing to Means[c] first (standardized value exactly +0/-0, as the
+	// copying pipeline produces). Both must have length X.Cols.
+	Means  []float64
+	Scales []float64
+	// Skip is the masked (target) column, excluded from every product.
+	Skip int
+}
+
+// rows reports the view's training-row count.
+func (v *MaskedView) rows() int {
+	if v.Rows != nil {
+		return len(v.Rows)
+	}
+	return v.X.Rows
+}
+
+// row returns the i-th training row of the view (full width; consumers skip
+// v.Skip themselves).
+func (v *MaskedView) row(i int) []float64 {
+	if v.Rows != nil {
+		return v.X.Row(v.Rows[i])
+	}
+	return v.X.Row(i)
+}
+
+// dotW returns the masked inner product of w with training row i.
+func (v *MaskedView) dotW(w []float64, i int) float64 {
+	row := v.row(i)
+	if v.Means == nil {
+		return linalg.DotSkip(w, row, v.Skip)
+	}
+	return dotSkipStd(w, row, v.Means, v.Scales, v.Skip)
+}
+
+// sqNorm returns the masked squared norm of training row i.
+func (v *MaskedView) sqNorm(i int) float64 {
+	row := v.row(i)
+	if v.Means == nil {
+		return linalg.SqNormSkip(row, v.Skip)
+	}
+	return sqNormSkipStd(row, v.Means, v.Scales, v.Skip)
+}
+
+// axpyW folds a*row(i) into w on the non-masked columns.
+func (v *MaskedView) axpyW(a float64, i int, w []float64) {
+	row := v.row(i)
+	if v.Means == nil {
+		linalg.AxpySkip(a, row, w, v.Skip)
+		return
+	}
+	axpySkipStd(a, row, v.Means, v.Scales, w, v.Skip)
+}
+
+// stdCell standardizes one raw cell: impute NaN to the mean, then center and
+// scale. This is the exact cell formula of the copying pipeline
+// (imputeMatrixInto + standardizeMatrix), applied lazily.
+func stdCell(v, mean, scale float64) float64 {
+	if math.IsNaN(v) {
+		v = mean
+	}
+	return (v - mean) * scale
+}
+
+// dotSkipStd is DotSkip over the lazily standardized row. The per-element
+// product is w[c] * ((v-mean)*scale) — the same grouping the gathered path
+// produces by standardizing the cell first — and the partial-sum chain runs
+// in ascending column order, so the result is bit-identical.
+func dotSkipStd(w, x, means, scales []float64, skip int) float64 {
+	var s float64
+	for c, v := range x[:skip] {
+		s += w[c] * stdCell(v, means[c], scales[c])
+	}
+	for c := skip + 1; c < len(x); c++ {
+		s += w[c] * stdCell(x[c], means[c], scales[c])
+	}
+	return s
+}
+
+func sqNormSkipStd(x, means, scales []float64, skip int) float64 {
+	var s float64
+	for c, v := range x[:skip] {
+		z := stdCell(v, means[c], scales[c])
+		s += z * z
+	}
+	for c := skip + 1; c < len(x); c++ {
+		z := stdCell(x[c], means[c], scales[c])
+		s += z * z
+	}
+	return s
+}
+
+func axpySkipStd(a float64, x, means, scales, w []float64, skip int) {
+	if a == 0 {
+		return
+	}
+	for c, v := range x[:skip] {
+		w[c] += a * stdCell(v, means[c], scales[c])
+	}
+	for c := skip + 1; c < len(x); c++ {
+		w[c] += a * stdCell(x[c], means[c], scales[c])
+	}
+}
+
+// SVRWorkspace pools the transient buffers of masked SVR training (weights,
+// dual variables, row norms, coordinate order) so cross-validation folds
+// train with zero allocations. One workspace serves many sequential
+// trainings; it must not be shared across goroutines. When a workspace is
+// supplied, the returned SVR's W aliases ws.W and is only valid until the
+// workspace's next use — callers keeping the model copy W out first.
+type SVRWorkspace struct {
+	W     []float64
+	beta  []float64
+	qd    []float64
+	order []int
+}
+
+// ensure sizes the workspace for n training rows and d full-width columns.
+func (ws *SVRWorkspace) ensure(n, d int) {
+	if cap(ws.W) < d {
+		ws.W = make([]float64, d)
+	}
+	ws.W = ws.W[:d]
+	for i := range ws.W {
+		ws.W[i] = 0
+	}
+	if cap(ws.beta) < n {
+		ws.beta = make([]float64, n)
+	}
+	ws.beta = ws.beta[:n]
+	for i := range ws.beta {
+		ws.beta[i] = 0
+	}
+	if cap(ws.qd) < n {
+		ws.qd = make([]float64, n)
+	}
+	ws.qd = ws.qd[:n]
+	if cap(ws.order) < n {
+		ws.order = make([]int, n)
+	}
+	ws.order = ws.order[:n]
+}
+
+// TrainSVRMasked fits the same L2-regularized L2-loss epsilon-SVR as
+// TrainSVR, but against a column-masked view of a full-width design matrix:
+// no gathered copy is ever built. The returned weight vector is full width
+// (len = view.X.Cols) with W[view.Skip] == 0; predictions must go through
+// PredictSkip/PredictSkipStd so the masked column stays excluded.
+//
+// Bit-identity contract: for any view, TrainSVRMasked produces exactly the
+// model TrainSVR would produce on the gathered-and-standardized (d-1)-column
+// matrix — same coordinate order (the permutation RNG sees the same seed and
+// the same n), same partial-sum chains (skip kernels), same stopping
+// iteration. The masked-vs-gather property tests pin this with exact ==.
+//
+// ws may be nil (buffers are then freshly allocated, and the returned W is
+// safe to retain).
+func TrainSVRMasked(view MaskedView, y []float64, params SVRParams, ws *SVRWorkspace) *SVR {
+	p := params.withDefaults()
+	n, d := view.rows(), view.X.Cols
+	if len(y) != n {
+		panic(fmt.Sprintf("svm: TrainSVRMasked %d samples but %d targets", n, len(y)))
+	}
+	if view.Skip < 0 || view.Skip >= d {
+		panic(fmt.Sprintf("svm: TrainSVRMasked skip column %d out of [0,%d)", view.Skip, d))
+	}
+	if view.Means != nil && (len(view.Means) != d || len(view.Scales) != d) {
+		panic(fmt.Sprintf("svm: TrainSVRMasked stats width %d/%d, want %d",
+			len(view.Means), len(view.Scales), d))
+	}
+	if ws == nil {
+		ws = &SVRWorkspace{}
+	}
+	ws.ensure(n, d)
+	w := ws.W
+	var b float64
+	if n == 0 {
+		return &SVR{W: w}
+	}
+	lambda := 0.5 / p.C
+	beta := ws.beta
+	qd := ws.qd
+	for i := 0; i < n; i++ {
+		qd[i] = view.sqNorm(i) + lambda
+		if p.Bias {
+			qd[i]++
+		}
+	}
+	order := ws.order
+	for i := range order {
+		order[i] = i
+	}
+	src := rng.New(p.Seed ^ 0x5f3759df)
+	iters := 0
+	for iter := 0; iter < p.MaxIter; iter++ {
+		iters = iter + 1
+		src.Shuffle(order)
+		maxViolation := 0.0
+		for _, i := range order {
+			g := view.dotW(w, i) + b*boolTo1(p.Bias) - y[i] + lambda*beta[i]
+			gp := g + p.Epsilon
+			gn := g - p.Epsilon
+
+			violation := 0.0
+			switch {
+			case beta[i] == 0:
+				if gp < 0 {
+					violation = -gp
+				} else if gn > 0 {
+					violation = gn
+				}
+			case beta[i] > 0:
+				violation = math.Abs(gp)
+			default:
+				violation = math.Abs(gn)
+			}
+			if violation > maxViolation {
+				maxViolation = violation
+			}
+
+			var delta float64
+			h := qd[i]
+			switch {
+			case gp < h*beta[i]:
+				delta = -gp / h
+			case gn > h*beta[i]:
+				delta = -gn / h
+			default:
+				delta = -beta[i]
+			}
+			if math.Abs(delta) < 1e-14 {
+				continue
+			}
+			beta[i] += delta
+			view.axpyW(delta, i, w)
+			if p.Bias {
+				b += delta
+			}
+		}
+		if maxViolation < p.Tol {
+			break
+		}
+	}
+	return &SVR{W: w, B: b, Iters: iters}
+}
+
+// PredictSkip evaluates wᵀx + b over every column except skip; x is a
+// full-width (already numeric) row and m.W must be full width with the skip
+// entry unused.
+func (m *SVR) PredictSkip(x []float64, skip int) float64 {
+	return linalg.DotSkip(m.W, x, skip) + m.B
+}
+
+// PredictSkipStd evaluates the masked model against one raw full-width row,
+// standardizing cells on the fly with the supplied per-column statistics:
+// the masked analogue of impute-then-standardize-then-Predict, bit-identical
+// to that pipeline.
+func (m *SVR) PredictSkipStd(x, means, scales []float64, skip int) float64 {
+	return dotSkipStd(m.W, x, means, scales, skip) + m.B
+}

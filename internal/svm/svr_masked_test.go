@@ -1,0 +1,221 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+// gatherCols copies the selected rows of x dropping column skip.
+func gatherCols(x *linalg.Matrix, rows []int, skip int) *linalg.Matrix {
+	if rows == nil {
+		rows = make([]int, x.Rows)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	g := linalg.NewMatrix(len(rows), x.Cols-1)
+	for i, r := range rows {
+		src := x.Row(r)
+		dst := g.Row(i)
+		k := 0
+		for c, v := range src {
+			if c != skip {
+				dst[k] = v
+				k++
+			}
+		}
+	}
+	return g
+}
+
+// sameModel asserts the masked model's non-skip weights, bias, and iteration
+// count equal the gathered model's bit for bit.
+func sameModel(t *testing.T, label string, masked, gathered *SVR, skip int) {
+	t.Helper()
+	if masked.W[skip] != 0 {
+		t.Errorf("%s: W[skip] = %v, want 0", label, masked.W[skip])
+	}
+	if masked.Iters != gathered.Iters {
+		t.Errorf("%s: %d iterations, gathered %d", label, masked.Iters, gathered.Iters)
+	}
+	if math.Float64bits(masked.B) != math.Float64bits(gathered.B) {
+		t.Errorf("%s: B = %v, gathered %v", label, masked.B, gathered.B)
+	}
+	k := 0
+	for c := range masked.W {
+		if c == skip {
+			continue
+		}
+		if math.Float64bits(masked.W[c]) != math.Float64bits(gathered.W[k]) {
+			t.Errorf("%s: W[%d] = %v (bits %016x), gathered W[%d] = %v (bits %016x)",
+				label, c, masked.W[c], math.Float64bits(masked.W[c]),
+				k, gathered.W[k], math.Float64bits(gathered.W[k]))
+		}
+		k++
+	}
+}
+
+// TestTrainSVRMaskedMatchesGatheredStd: on an already-standardized matrix
+// (the direct view flavor), masked training must reproduce TrainSVR on the
+// gathered (d-1)-column matrix exactly — weights, bias, and stopping
+// iteration.
+func TestTrainSVRMaskedMatchesGatheredStd(t *testing.T) {
+	src := rng.New(21)
+	for _, shape := range []struct{ n, d int }{{8, 2}, {20, 5}, {16, 9}} {
+		x := linalg.NewMatrix(shape.n, shape.d)
+		y := make([]float64, shape.n)
+		for i := 0; i < shape.n; i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = src.Norm()
+			}
+			y[i] = row[0] - 0.5*row[shape.d-1] + src.Normal(0, 0.1)
+		}
+		params := SVRParams{Seed: src.Uint64(), Bias: true}
+		var ws SVRWorkspace
+		for skip := 0; skip < shape.d; skip++ {
+			gathered := TrainSVR(gatherCols(x, nil, skip), y, params)
+			masked := TrainSVRMasked(MaskedView{X: x, Skip: skip}, y, params, &ws)
+			sameModel(t, "std view", masked, gathered, skip)
+
+			probe := x.Row(src.IntN(shape.n))
+			got := masked.PredictSkip(probe, skip)
+			gp := make([]float64, 0, shape.d-1)
+			for c, v := range probe {
+				if c != skip {
+					gp = append(gp, v)
+				}
+			}
+			if math.Float64bits(got) != math.Float64bits(gathered.Predict(gp)) {
+				t.Errorf("PredictSkip diverges from gathered Predict at skip %d", skip)
+			}
+		}
+	}
+}
+
+// TestTrainSVRMaskedMatchesGatheredRaw: the raw view flavor (lazy
+// impute+standardize over a row subset, NaN cells allowed) must match
+// gathering the rows, imputing, standardizing, and training — the exact
+// per-fold pipeline of the FRaC trainer.
+func TestTrainSVRMaskedMatchesGatheredRaw(t *testing.T) {
+	src := rng.New(33)
+	n, d := 18, 6
+	x := linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = src.Normal(0, 2)
+			if src.Bernoulli(0.15) {
+				row[j] = math.NaN()
+			}
+		}
+		y[i] = src.Norm()
+	}
+	rows := []int{0, 2, 3, 5, 7, 8, 10, 13, 14, 17}
+	// Full-width subset statistics with the pipeline's formulas.
+	means := make([]float64, d)
+	scales := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var sum float64
+		count := 0
+		for _, r := range rows {
+			if v := x.At(r, j); !math.IsNaN(v) {
+				sum += v
+				count++
+			}
+		}
+		if count > 0 {
+			means[j] = sum / float64(count)
+		}
+		var ss float64
+		for _, r := range rows {
+			v := x.At(r, j)
+			if math.IsNaN(v) {
+				v = means[j]
+			}
+			dlt := v - means[j]
+			ss += dlt * dlt
+		}
+		if sd := math.Sqrt(ss / float64(len(rows)-1)); sd > 1e-9 {
+			scales[j] = 1 / sd
+		}
+	}
+	ySub := make([]float64, len(rows))
+	for i, r := range rows {
+		ySub[i] = y[r]
+	}
+	params := SVRParams{Seed: 99, Bias: true}
+	for skip := 0; skip < d; skip++ {
+		g := gatherCols(x, rows, skip)
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			k := 0
+			for c := 0; c < d; c++ {
+				if c == skip {
+					continue
+				}
+				v := row[k]
+				if math.IsNaN(v) {
+					v = means[c]
+				}
+				row[k] = (v - means[c]) * scales[c]
+				k++
+			}
+		}
+		gathered := TrainSVR(g, ySub, params)
+		masked := TrainSVRMasked(MaskedView{X: x, Rows: rows, Means: means, Scales: scales, Skip: skip},
+			ySub, params, nil)
+		sameModel(t, "raw view", masked, gathered, skip)
+
+		probe := x.Row(1)
+		gp := make([]float64, 0, d-1)
+		for c, v := range probe {
+			if c == skip {
+				continue
+			}
+			if math.IsNaN(v) {
+				v = means[c]
+			}
+			gp = append(gp, (v-means[c])*scales[c])
+		}
+		got := masked.PredictSkipStd(probe, means, scales, skip)
+		if want := gathered.Predict(gp); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("PredictSkipStd = %v, gathered Predict = %v at skip %d", got, want, skip)
+		}
+	}
+}
+
+// TestTrainSVRMaskedWorkspaceReuse: a reused workspace must not leak state
+// between trainings — retraining with the same inputs yields the same model.
+func TestTrainSVRMaskedWorkspaceReuse(t *testing.T) {
+	src := rng.New(77)
+	x := linalg.NewMatrix(12, 4)
+	y := make([]float64, 12)
+	for i := range y {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = src.Norm()
+		}
+		y[i] = row[0] + src.Normal(0, 0.2)
+	}
+	params := SVRParams{Seed: 5, Bias: true}
+	var ws SVRWorkspace
+	first := TrainSVRMasked(MaskedView{X: x, Skip: 2}, y, params, &ws)
+	w := append([]float64(nil), first.W...)
+	b, iters := first.B, first.Iters
+	// Dirty the workspace with a different problem, then retrain the first.
+	TrainSVRMasked(MaskedView{X: x, Skip: 0}, y, params, &ws)
+	again := TrainSVRMasked(MaskedView{X: x, Skip: 2}, y, params, &ws)
+	if again.B != b || again.Iters != iters {
+		t.Fatalf("retrain: B=%v iters=%d, want B=%v iters=%d", again.B, again.Iters, b, iters)
+	}
+	for c := range w {
+		if math.Float64bits(again.W[c]) != math.Float64bits(w[c]) {
+			t.Errorf("retrain W[%d] = %v, want %v", c, again.W[c], w[c])
+		}
+	}
+}
