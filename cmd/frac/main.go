@@ -36,6 +36,7 @@ import (
 
 	"frac"
 	"frac/internal/obs"
+	"frac/internal/obs/httpserve"
 	"frac/internal/resource"
 )
 
@@ -49,10 +50,12 @@ type options struct {
 	learners string
 	scores   bool
 
-	// obs is the run's telemetry recorder (nil unless -progress or
-	// -metrics-out was given) and manifest carrier.
+	// obs is the run's telemetry recorder (nil unless a telemetry flag was
+	// given) and manifest carrier; limit is the shared instrumented compute
+	// pool all term-level work runs through when telemetry is on.
 	obs      *obs.Recorder
 	manifest *obs.Manifest
+	limit    *frac.Limit
 }
 
 func main() {
@@ -99,6 +102,23 @@ func main() {
 		"learners", opt.learners,
 		"replicates", strconv.Itoa(*replicates),
 	)
+	// When telemetry is on, run all term-level work through one instrumented
+	// compute pool so occupancy and queue-wait metrics cover every variant
+	// (the pool is sized exactly like the worker bound, so scheduling — and
+	// therefore scores — is unchanged).
+	if opt.obs != nil {
+		opt.limit = frac.NewLimit(opt.workers).Instrument(opt.obs)
+	}
+
+	srv, err := httpserve.Start(tele.DebugAddr, httpserve.Options{
+		Recorder:  sess.Rec,
+		Manifest:  sess.Manifest,
+		PoolStats: opt.limit.Stats,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frac: %v\n", err)
+		os.Exit(1)
+	}
 
 	// Interrupt (^C) or SIGTERM cancels the run cooperatively: in-flight
 	// model trainings finish, no new ones start, and the process exits with
@@ -114,9 +134,13 @@ func main() {
 	default:
 		err = run(ctx, *dataPath, *trainPath, *testPath, *replicates, opt)
 	}
-	// Telemetry closes before exit so profiles flush and the metrics file is
-	// complete even on a failed or cancelled run.
-	if cerr := sess.Close(); cerr != nil && err == nil {
+	// Telemetry closes before exit so profiles flush and the metrics file,
+	// journal, and trace export are complete even on a failed or cancelled
+	// run (a cancelled run's documents carry "cancelled": true).
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := sess.Close(err); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err != nil {
@@ -248,19 +272,12 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 			opt.manifest.Dataset.Replicates = len(reps)
 		}
 	}
-	// When telemetry is on, run all term-level work through one instrumented
-	// compute pool so occupancy and queue-wait metrics cover every variant
-	// (the pool is sized exactly like the worker bound, so scheduling — and
-	// therefore scores — is unchanged).
-	var limit *frac.Limit
-	if opt.obs != nil {
-		limit = frac.NewLimit(opt.workers).Instrument(opt.obs)
-	}
 	var aucs []float64
 	for i, rep := range reps {
+		opt.obs.Annotate("replicate", strconv.Itoa(i))
 		tracker := resource.NewTracker()
 		cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Tracker: tracker,
-			Obs: opt.obs, Limit: limit}
+			Obs: opt.obs, Limit: opt.limit}
 		if opt.learners == "tree" {
 			cfg.Learners = frac.TreeLearnersDefault()
 		}

@@ -10,8 +10,9 @@
 // by -iters measured passes, with min/median/mean wall time (and allocator
 // traffic) written to BENCH_results.json alongside a run manifest and the
 // per-variant time/memory fractions of full FRaC that Tables III–V report.
-// Telemetry flags (-progress, -metrics-out, -pprof-cpu, -pprof-heap,
-// -trace, -version) match the frac command.
+// Telemetry flags (-progress, -metrics-out, -journal-out, -trace-events-out,
+// -debug-addr, -obs-term-sample, -pprof-cpu, -pprof-heap, -trace, -version)
+// match the frac command.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 	"frac/internal/eval"
 	"frac/internal/obs"
+	"frac/internal/obs/httpserve"
 )
 
 // exhibitCost is one BENCH_results.json exhibit entry: wall-time statistics
@@ -257,6 +259,14 @@ func main() {
 	)
 	b.doc.Manifest = sess.Manifest
 
+	srv, err := httpserve.Start(tele.DebugAddr, httpserve.Options{
+		Recorder: sess.Rec, Manifest: sess.Manifest,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fracbench: %v\n", err)
+		os.Exit(1)
+	}
+
 	// Interrupt (^C) or SIGTERM cancels the regeneration cooperatively:
 	// in-flight cells finish, later exhibits are skipped.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -268,7 +278,10 @@ func main() {
 	if werr := b.writeResults(*benchJSON); werr != nil && err == nil {
 		err = fmt.Errorf("writing %s: %w", *benchJSON, werr)
 	}
-	if cerr := sess.Close(); cerr != nil && err == nil {
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := sess.Close(err); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err != nil {

@@ -8,7 +8,8 @@
 // Replicated profiles produce a single labeled pool file (use frac's
 // replicate machinery, or cmd/frac's -replicates flag, to split); the
 // confounded schizophrenia profile produces separate -train and -test
-// files. Telemetry flags (-progress, -metrics-out, -pprof-cpu, -pprof-heap,
+// files. Telemetry flags (-progress, -metrics-out, -journal-out,
+// -trace-events-out, -debug-addr, -obs-term-sample, -pprof-cpu, -pprof-heap,
 // -trace, -version) match the frac command; generation is recorded as the
 // load phase, TSV encoding as bytes decoded.
 package main
@@ -26,6 +27,7 @@ import (
 
 	"frac/internal/dataset"
 	"frac/internal/obs"
+	"frac/internal/obs/httpserve"
 	"frac/internal/synth"
 )
 
@@ -55,13 +57,24 @@ func main() {
 		"seed", strconv.FormatUint(*seed, 10),
 	)
 
+	srv, err := httpserve.Start(tele.DebugAddr, httpserve.Options{
+		Recorder: sess.Rec, Manifest: sess.Manifest,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fracgen: %v\n", err)
+		os.Exit(1)
+	}
+
 	// Interrupt (^C) or SIGTERM stops between profiles, so no TSV file is
 	// left half-written by a mid-stream kill of the generation loop.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	err = run(ctx, *out, *scale, *profile, *seed, sess.Rec)
-	if cerr := sess.Close(); cerr != nil && err == nil {
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := sess.Close(err); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err != nil {

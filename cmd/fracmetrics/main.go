@@ -1,0 +1,404 @@
+// Command fracmetrics compares telemetry from FRaC runs: it loads two or
+// more run_metrics.json documents (or streaming journal .jsonl files — the
+// final close event embeds the same metrics snapshot) and reports each run's
+// time, memory, and term throughput as fractions of a designated baseline,
+// in the style of the paper's Tables III–V.
+//
+//	fracmetrics diff base_metrics.json variant_metrics.json [...]
+//
+// The check subcommand is a CI regression gate. Against a committed
+// BENCH_results.json baseline it compares the candidate's per-variant
+// time/memory fractions row by row (benchguard-style relative tolerance);
+// against a baseline run-metrics document it gates the candidate's absolute
+// time/memory fractions. Either way it exits non-zero on a regression.
+//
+//	fracmetrics check -baseline BENCH_results.json -tolerance 0.15 BENCH_smoke.json
+//	fracmetrics check -baseline base_metrics.json -max-time-frac 1.5 run_metrics.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"frac/internal/obs"
+)
+
+// runDoc is one loaded run: its metrics snapshot plus the file it came from.
+type runDoc struct {
+	Name    string
+	Metrics obs.Metrics
+}
+
+// journalLine is the subset of a journal event the loader needs: the close
+// event carries the full final metrics snapshot.
+type journalLine struct {
+	Type      string       `json:"type"`
+	Cancelled bool         `json:"cancelled"`
+	Metrics   *obs.Metrics `json:"metrics"`
+}
+
+// loadRun reads a run's metrics from either a run_metrics.json document or a
+// streaming journal (.jsonl): a file whose first JSON value has a "type"
+// field is a journal, and its last close event holds the snapshot.
+func loadRun(path string) (runDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return runDoc{}, err
+	}
+	defer f.Close()
+	doc := runDoc{Name: filepath.Base(path)}
+
+	var probe struct {
+		Type string `json:"type"`
+	}
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&probe); err != nil {
+		return runDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Type == "" {
+		// One run_metrics.json object.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return runDoc{}, err
+		}
+		if err := json.NewDecoder(f).Decode(&doc.Metrics); err != nil {
+			return runDoc{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc, nil
+	}
+
+	// Journal: scan every line, keep the last close event. A killed run's
+	// journal has no close event — that is a load error, not a zero result.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return runDoc{}, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	found := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev journalLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return runDoc{}, fmt.Errorf("%s: bad journal line: %w", path, err)
+		}
+		if ev.Type == "close" && ev.Metrics != nil {
+			doc.Metrics = *ev.Metrics
+			doc.Metrics.Cancelled = doc.Metrics.Cancelled || ev.Cancelled
+			found = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return runDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if !found {
+		return runDoc{}, fmt.Errorf("%s: journal has no close event (run killed before shutdown?)", path)
+	}
+	return doc, nil
+}
+
+// peakMem picks the run's memory figure: the deterministic analytic peak
+// (the measure behind the paper's memory fractions) when present, else the
+// sampled heap high-water mark.
+func peakMem(m obs.Metrics) int64 {
+	if m.Memory.AnalyticPeakBytes > 0 {
+		return m.Memory.AnalyticPeakBytes
+	}
+	return m.Memory.HeapPeakBytes
+}
+
+// diffRow is one run's cost relative to the baseline.
+type diffRow struct {
+	Name      string
+	WallNs    int64
+	TimeFrac  float64
+	MemBytes  int64
+	MemFrac   float64
+	Terms     int64
+	TermsFrac float64
+	Cancelled bool
+}
+
+// frac divides, returning 0 for an empty baseline so rows stay printable.
+func frac(v, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base)
+}
+
+// diffRows computes each run's fractions of the baseline (the baseline's own
+// row is included first, with fractions of exactly 1).
+func diffRows(docs []runDoc) []diffRow {
+	base := docs[0].Metrics
+	rows := make([]diffRow, 0, len(docs))
+	for _, d := range docs {
+		m := d.Metrics
+		rows = append(rows, diffRow{
+			Name:      d.Name,
+			WallNs:    m.WallNs,
+			TimeFrac:  frac(m.WallNs, base.WallNs),
+			MemBytes:  peakMem(m),
+			MemFrac:   frac(peakMem(m), peakMem(base)),
+			Terms:     m.Progress.CompletedTerms,
+			TermsFrac: frac(m.Progress.CompletedTerms, base.Progress.CompletedTerms),
+			Cancelled: m.Cancelled,
+		})
+	}
+	return rows
+}
+
+func printDiff(w io.Writer, rows []diffRow) {
+	fmt.Fprintf(w, "%-32s %10s %10s %10s %9s %10s %11s\n",
+		"run", "wall", "time_frac", "peak mem", "mem_frac", "terms", "terms_frac")
+	for i, r := range rows {
+		name := r.Name
+		if i == 0 {
+			name += " (base)"
+		}
+		if r.Cancelled {
+			name += " [cancelled]"
+		}
+		fmt.Fprintf(w, "%-32s %10v %10.3f %10s %9.3f %10d %11.3f\n",
+			name, time.Duration(r.WallNs).Round(time.Millisecond),
+			r.TimeFrac, obs.FormatBytes(r.MemBytes), r.MemFrac, r.Terms, r.TermsFrac)
+	}
+}
+
+// benchFractions is the variant_fractions section of a BENCH_results.json
+// document (the shape fracbench writes).
+type benchFractions struct {
+	VariantFractions []struct {
+		Table    string  `json:"table"`
+		Dataset  string  `json:"dataset"`
+		Variant  string  `json:"variant"`
+		TimeFrac float64 `json:"time_frac"`
+		MemFrac  float64 `json:"mem_frac"`
+	} `json:"variant_fractions"`
+}
+
+func loadBenchFractions(path string) (map[string][2]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFractions
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string][2]float64, len(doc.VariantFractions))
+	for _, r := range doc.VariantFractions {
+		out[r.Table+"|"+r.Dataset+"|"+r.Variant] = [2]float64{r.TimeFrac, r.MemFrac}
+	}
+	return out, nil
+}
+
+// isBenchDoc reports whether path holds a BENCH_results.json-style document
+// (identified by its variant_fractions or exhibits sections).
+func isBenchDoc(path string) bool {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe struct {
+		VariantFractions []json.RawMessage `json:"variant_fractions"`
+		Exhibits         json.RawMessage   `json:"exhibits"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return false
+	}
+	return len(probe.VariantFractions) > 0 || len(probe.Exhibits) > 0
+}
+
+// checkRow is one compared fraction in check mode.
+type checkRow struct {
+	Key        string
+	Kind       string // "time" or "mem"
+	Base, Live float64
+	Regression bool
+}
+
+// checkBenchFractions compares per-variant fractions row by row: a candidate
+// fraction more than tolerance above the committed one is a regression
+// (fractions are already normalized by each run's own full-FRaC baseline, so
+// machine speed cancels and no median calibration is needed).
+func checkBenchFractions(live, base map[string][2]float64, tolerance float64) []checkRow {
+	keys := make([]string, 0, len(live))
+	for k := range live {
+		if _, ok := base[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var rows []checkRow
+	for _, k := range keys {
+		b, l := base[k], live[k]
+		for i, kind := range [2]string{"time", "mem"} {
+			rows = append(rows, checkRow{
+				Key: k, Kind: kind, Base: b[i], Live: l[i],
+				Regression: b[i] > 0 && l[i] > b[i]*(1+tolerance),
+			})
+		}
+	}
+	return rows
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics diff <base metrics|journal> <other> [...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		fs.Usage()
+		return fmt.Errorf("diff needs a baseline and at least one other run")
+	}
+	docs := make([]runDoc, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		d, err := loadRun(path)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, d)
+	}
+	printDiff(os.Stdout, diffRows(docs))
+	return nil
+}
+
+// errRegression marks a detected regression; main maps it to exit code 2 so
+// CI can distinguish "regressed" from "could not compare".
+var errRegression = fmt.Errorf("regression detected")
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_results.json",
+		"baseline document: BENCH_results.json (per-variant fractions) or a run metrics/journal file")
+	tolerance := fs.Float64("tolerance", 0.15,
+		"allowed relative increase of each per-variant fraction over the baseline")
+	kinds := fs.String("kinds", "time,mem",
+		"BENCH mode: which fraction kinds to gate (comma-separated; coarse smoke runs have sub-ms cells whose time fractions are noise, so CI gates mem only)")
+	maxTimeFrac := fs.Float64("max-time-frac", 0,
+		"run-metrics mode: fail when candidate wall time exceeds this fraction of the baseline (0 = 1+tolerance)")
+	maxMemFrac := fs.Float64("max-mem-frac", 0,
+		"run-metrics mode: fail when candidate peak memory exceeds this fraction of the baseline (0 = 1+tolerance)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics check [flags] <candidate>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("check needs exactly one candidate file")
+	}
+	candidate := fs.Arg(0)
+
+	if isBenchDoc(candidate) {
+		live, err := loadBenchFractions(candidate)
+		if err != nil {
+			return err
+		}
+		base, err := loadBenchFractions(*baseline)
+		if err != nil {
+			return err
+		}
+		wantKind := map[string]bool{}
+		for _, k := range strings.Split(*kinds, ",") {
+			wantKind[strings.TrimSpace(k)] = true
+		}
+		all := checkBenchFractions(live, base, *tolerance)
+		rows := all[:0]
+		for _, r := range all {
+			if wantKind[r.Kind] {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			return fmt.Errorf("no variant fractions overlap between %s and %s (kinds %q)", candidate, *baseline, *kinds)
+		}
+		failed := 0
+		for _, r := range rows {
+			verdict := "ok"
+			if r.Regression {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-48s %-4s %8.3f %8.3f  %s\n", r.Key, r.Kind, r.Base, r.Live, verdict)
+		}
+		if failed > 0 {
+			fmt.Printf("fracmetrics: %d of %d fractions regressed beyond %.0f%%\n",
+				failed, len(rows), *tolerance*100)
+			return errRegression
+		}
+		fmt.Printf("fracmetrics: %d fractions within %.0f%% of baseline\n", len(rows), *tolerance*100)
+		return nil
+	}
+
+	// Run-metrics mode: candidate wall/memory as a fraction of the baseline
+	// run, gated by absolute thresholds.
+	baseDoc, err := loadRun(*baseline)
+	if err != nil {
+		return err
+	}
+	candDoc, err := loadRun(candidate)
+	if err != nil {
+		return err
+	}
+	timeLimit := *maxTimeFrac
+	if timeLimit <= 0 {
+		timeLimit = 1 + *tolerance
+	}
+	memLimit := *maxMemFrac
+	if memLimit <= 0 {
+		memLimit = 1 + *tolerance
+	}
+	rows := diffRows([]runDoc{baseDoc, candDoc})
+	printDiff(os.Stdout, rows)
+	cand := rows[1]
+	failed := 0
+	if cand.TimeFrac > timeLimit {
+		fmt.Printf("fracmetrics: time_frac %.3f exceeds limit %.3f\n", cand.TimeFrac, timeLimit)
+		failed++
+	}
+	if cand.MemFrac > memLimit {
+		fmt.Printf("fracmetrics: mem_frac %.3f exceeds limit %.3f\n", cand.MemFrac, memLimit)
+		failed++
+	}
+	if failed > 0 {
+		return errRegression
+	}
+	fmt.Printf("fracmetrics: within limits (time ≤ %.3f, mem ≤ %.3f)\n", timeLimit, memLimit)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics <diff|check> [args]")
+		os.Exit(1)
+	}
+	var err error
+	switch os.Args[1] {
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want diff or check)", os.Args[1])
+	}
+	if err != nil {
+		if err == errRegression {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "fracmetrics: %v\n", err)
+		os.Exit(1)
+	}
+}

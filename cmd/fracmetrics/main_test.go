@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frac/internal/obs"
+)
+
+// writeMetricsDoc writes a run_metrics.json-style fixture and returns its path.
+func writeMetricsDoc(t *testing.T, dir, name string, m obs.Metrics) string {
+	t.Helper()
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mkMetrics(wallNs, memBytes, terms int64) obs.Metrics {
+	return obs.Metrics{
+		WallNs:   wallNs,
+		Memory:   obs.MemoryMetrics{AnalyticPeakBytes: memBytes},
+		Progress: obs.ProgressMetrics{PlannedTerms: terms, CompletedTerms: terms},
+		Counters: map[string]int64{"terms_trained": terms},
+	}
+}
+
+// TestLoadRunBothFormats: the loader accepts a run_metrics.json document and a
+// journal whose close event embeds the same snapshot, and both yield identical
+// metrics.
+func TestLoadRunBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	m := mkMetrics(5e9, 1<<28, 120)
+	jsonPath := writeMetricsDoc(t, dir, "run_metrics.json", m)
+
+	// Journal built by the real journal writer, closed with the same snapshot.
+	rec := obs.New()
+	jPath := filepath.Join(dir, "journal.jsonl")
+	j, err := obs.OpenJournal(jPath, rec, "frac-test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(false, m); err != nil {
+		t.Fatal(err)
+	}
+
+	fromJSON, err := loadRun(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJournal, err := loadRun(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]runDoc{"metrics": fromJSON, "journal": fromJournal} {
+		if d.Metrics.WallNs != m.WallNs || peakMem(d.Metrics) != 1<<28 ||
+			d.Metrics.Progress.CompletedTerms != 120 {
+			t.Errorf("%s loader: %+v", name, d.Metrics)
+		}
+	}
+}
+
+// TestLoadRunJournalWithoutClose: a journal from a killed run (no close event)
+// is a load error, not a silent zero row.
+func TestLoadRunJournalWithoutClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	line := `{"type":"open","t_ns":0,"tool":"frac"}` + "\n" +
+		`{"type":"progress","t_ns":100,"completed":3}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRun(path); err == nil {
+		t.Fatal("journal without close event loaded without error")
+	}
+}
+
+// TestDiffReproducesVariantFractions is the acceptance check: runs whose
+// wall-clock and peak-memory figures embody the committed BENCH_results.json
+// per-variant fractions must come back out of `fracmetrics diff` with those
+// same fractions.
+func TestDiffReproducesVariantFractions(t *testing.T) {
+	base, err := loadBenchFractions(filepath.Join("..", "..", "BENCH_results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("committed BENCH_results.json has no variant fractions")
+	}
+	const baseWall, baseMem = int64(1e12), int64(1) << 40
+	docs := []runDoc{{Name: "full", Metrics: mkMetrics(baseWall, baseMem, 1000)}}
+	var keys []string
+	for k, fr := range base {
+		docs = append(docs, runDoc{Name: k, Metrics: mkMetrics(
+			int64(math.Round(float64(baseWall)*fr[0])),
+			int64(math.Round(float64(baseMem)*fr[1])), 1000)})
+		keys = append(keys, k)
+	}
+	rows := diffRows(docs)
+	if rows[0].TimeFrac != 1 || rows[0].MemFrac != 1 {
+		t.Fatalf("baseline row fractions = %v/%v, want 1/1", rows[0].TimeFrac, rows[0].MemFrac)
+	}
+	for i, k := range keys {
+		r := rows[i+1]
+		want := base[k]
+		// Rounding the synthetic figures to integers costs at most 1 part in
+		// baseWall/baseMem.
+		if math.Abs(r.TimeFrac-want[0]) > 1e-9 {
+			t.Errorf("%s: time_frac %v, want %v", k, r.TimeFrac, want[0])
+		}
+		if math.Abs(r.MemFrac-want[1]) > 1e-9 {
+			t.Errorf("%s: mem_frac %v, want %v", k, r.MemFrac, want[1])
+		}
+	}
+}
+
+// writeBenchDoc writes a minimal BENCH_results.json-style document with one
+// variant row.
+func writeBenchDoc(t *testing.T, dir, name string, timeFrac, memFrac float64) string {
+	t.Helper()
+	doc := fmt.Sprintf(`{"variant_fractions":[{"table":"table3","dataset":"synth","variant":"jl","time_frac":%g,"mem_frac":%g}]}`,
+		timeFrac, memFrac)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckBenchMode: cmdCheck against a BENCH baseline passes within
+// tolerance and returns errRegression on an injected over-threshold fraction.
+func TestCheckBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBenchDoc(t, dir, "base.json", 0.10, 0.20)
+
+	ok := writeBenchDoc(t, dir, "ok.json", 0.11, 0.22) // +10%: inside 0.15
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", ok}); err != nil {
+		t.Fatalf("within-tolerance candidate failed: %v", err)
+	}
+
+	bad := writeBenchDoc(t, dir, "bad.json", 0.13, 0.20) // time +30%: regression
+	err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", bad})
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("injected regression returned %v, want errRegression", err)
+	}
+
+	// -kinds restricts which fraction kinds are gated: the same candidate's
+	// time regression is invisible to a mem-only gate, and vice versa.
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", "-kinds", "mem", bad}); err != nil {
+		t.Fatalf("mem-only gate flagged a time-only regression: %v", err)
+	}
+	badMem := writeBenchDoc(t, dir, "badmem.json", 0.10, 0.30) // mem +50%
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", "-kinds", "mem", badMem}); !errors.Is(err, errRegression) {
+		t.Fatalf("mem-only gate missed a mem regression: %v", err)
+	}
+
+	// No overlapping rows is a comparison failure, not a pass.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"variant_fractions":[{"table":"x","dataset":"y","variant":"z","time_frac":1,"mem_frac":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", empty}); err == nil || errors.Is(err, errRegression) {
+		t.Fatalf("disjoint documents returned %v, want a comparison error", err)
+	}
+}
+
+// TestCheckRunMetricsMode: against a baseline run document, the candidate is
+// gated on absolute time/memory fractions.
+func TestCheckRunMetricsMode(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeMetricsDoc(t, dir, "base.json", mkMetrics(1e9, 1<<30, 100))
+
+	ok := writeMetricsDoc(t, dir, "ok.json", mkMetrics(1.05e9, 1<<30, 100))
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", ok}); err != nil {
+		t.Fatalf("within-limit candidate failed: %v", err)
+	}
+
+	slow := writeMetricsDoc(t, dir, "slow.json", mkMetrics(2e9, 1<<30, 100))
+	if err := cmdCheck([]string{"-baseline", baseline, "-tolerance", "0.15", slow}); !errors.Is(err, errRegression) {
+		t.Fatalf("2x-slower candidate returned %v, want errRegression", err)
+	}
+
+	hungry := writeMetricsDoc(t, dir, "hungry.json", mkMetrics(1e9, 1<<32, 100))
+	if err := cmdCheck([]string{"-baseline", baseline, "-max-mem-frac", "2.0", hungry}); !errors.Is(err, errRegression) {
+		t.Fatalf("4x-memory candidate returned %v, want errRegression", err)
+	}
+}
+
+// TestCheckBenchFractionsTable exercises the row comparison directly: sorted
+// keys, both kinds per key, regression only past tolerance, and zero baselines
+// never flagged.
+func TestCheckBenchFractionsTable(t *testing.T) {
+	base := map[string][2]float64{
+		"t|d|a": {0.10, 0.50},
+		"t|d|b": {0.00, 0.40}, // zero time baseline: not gateable
+	}
+	live := map[string][2]float64{
+		"t|d|a": {0.14, 0.50}, // time regressed 40%
+		"t|d|b": {5.00, 0.44}, // time base is 0 → skip; mem +10% → ok
+		"t|d|c": {1.00, 1.00}, // no baseline row: ignored
+	}
+	rows := checkBenchFractions(live, base, 0.15)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	want := map[string]bool{
+		"t|d|a/time": true, "t|d|a/mem": false,
+		"t|d|b/time": false, "t|d|b/mem": false,
+	}
+	for _, r := range rows {
+		if got := r.Regression; got != want[r.Key+"/"+r.Kind] {
+			t.Errorf("%s %s: regression=%v, want %v (base %v live %v)",
+				r.Key, r.Kind, got, want[r.Key+"/"+r.Kind], r.Base, r.Live)
+		}
+	}
+}
+
+// TestFracDivide: the zero-baseline guard.
+func TestFracDivide(t *testing.T) {
+	if got := frac(5, 0); got != 0 {
+		t.Errorf("frac(5, 0) = %v, want 0", got)
+	}
+	if got := frac(3, 4); got != 0.75 {
+		t.Errorf("frac(3, 4) = %v, want 0.75", got)
+	}
+}

@@ -176,11 +176,11 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Con
 		}
 	}
 	err := parallel.ForWorkersWithStateErr(ctx, len(terms), cfg.Workers, cfg.Limit,
-		func(int) *trainScratch { return new(trainScratch) },
+		func(w int) *trainScratch { return &trainScratch{worker: w} },
 		func(ti int, sc *trainScratch) error {
 			var tm termModel
 			var err error
-			span := cfg.Obs.StartSampled(obs.PhaseTermTrain)
+			span := cfg.Obs.StartSampledWorker(obs.PhaseTermTrain, sc.worker)
 			task := func() { tm, err = trainTerm(train, terms[ti], cfg, streams[ti], sc, dc.forTerm(ti)) }
 			if cfg.Tracker != nil {
 				cfg.Tracker.TimeTask(task)
@@ -238,6 +238,10 @@ func (m *Model) NumTerms() int { return len(m.terms) }
 // learners receive scratch-backed matrices and must not retain them (see
 // DESIGN.md "Performance notes").
 type trainScratch struct {
+	// worker is the owning worker's index, carried only for span attribution
+	// (exported trace tracks show which worker trained each sampled term).
+	worker int
+
 	rows []int // observed row indices for the current target
 	yF   []float64
 	yI   []int
@@ -553,6 +557,9 @@ func (s *ScoreSet) Totals() []float64 {
 // sample-major input gather matrix and the batch prediction outputs, shared
 // by every term a worker scores.
 type scoreWorkspace struct {
+	// worker is the owning worker's index, for span attribution only.
+	worker int
+
 	in     *linalg.Matrix
 	preds  []float64
 	labels []int
@@ -623,9 +630,9 @@ func (m *Model) ScoreDatasetCtx(ctx context.Context, test *dataset.Dataset) (*Sc
 	defer phase.End()
 	m.cfg.Obs.AddPlanned(int64(len(m.terms)))
 	err := parallel.ForWorkersWithStateErr(ctx, len(m.terms), m.cfg.Workers, m.cfg.Limit,
-		func(int) *scoreWorkspace { return new(scoreWorkspace) },
+		func(w int) *scoreWorkspace { return &scoreWorkspace{worker: w} },
 		func(ti int, ws *scoreWorkspace) error {
-			span := m.cfg.Obs.StartSampled(obs.PhaseTermScore)
+			span := m.cfg.Obs.StartSampledWorker(obs.PhaseTermScore, ws.worker)
 			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws) }
 			if m.cfg.Tracker != nil {
 				m.cfg.Tracker.TimeTask(task)

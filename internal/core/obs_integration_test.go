@@ -1,11 +1,18 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"frac/internal/obs"
+	"frac/internal/obs/httpserve"
 	"frac/internal/rng"
 )
 
@@ -86,5 +93,80 @@ func TestTelemetryDoesNotChangeScores(t *testing.T) {
 		if pm.BusyPeak > pm.Capacity {
 			t.Errorf("busy peak %d exceeds capacity %d", pm.BusyPeak, pm.Capacity)
 		}
+	}
+}
+
+// TestAllSinksLiveDoNotChangeScores runs the golden fixed-seed case with every
+// observability sink active at once — streaming journal, span log for trace
+// export, and a live debug server being scraped during the run — and requires
+// the scores to stay bit-identical to the golden fixture. Observation must
+// never feed back into computation, no matter how much of it is on.
+func TestAllSinksLiveDoNotChangeScores(t *testing.T) {
+	train, test := goldenTrainTest()
+
+	rec := obs.New()
+	rec.SetSampleEvery(1)
+	rec.EnableSpanLog(0)
+	journalPath := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := obs.OpenJournal(journalPath, rec, "frac-test", 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := obs.NewManifest("frac-test")
+	srv, err := httpserve.Start("127.0.0.1:0", httpserve.Options{Recorder: rec, Manifest: man})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	res, err := Run(train, test, FullTerms(train.NumFeatures()), Config{Seed: 42, Workers: 2, Obs: rec})
+	close(stop)
+	<-scraperDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.Float64bits(s) != goldenCases[0].scores[i] {
+			t.Errorf("live sinks changed sample %d: score %v (bits 0x%016x), want bits 0x%016x",
+				i, s, math.Float64bits(s), goldenCases[0].scores[i])
+		}
+	}
+
+	// The sinks themselves must have captured the run: journal closes with the
+	// final metrics, and the span log exports a non-empty trace document.
+	if err := j.Close(false, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := rec.WriteTraceEvents(&trace, "frac-test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace export empty after a fully observed run")
 	}
 }

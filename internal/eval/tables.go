@@ -139,7 +139,8 @@ func fullRunRow(p synth.Profile, o Options) (Table2Row, error) {
 	row := Table2Row{Dataset: p.Name, PaperAUC: p.PaperAUC, PaperAUCSD: p.PaperAUCSD}
 	var aucAgg stats.Welford
 	var costs []resource.Cost
-	for _, rep := range reps {
+	for i, rep := range reps {
+		o.Obs.Annotate("cell", fmt.Sprintf("%s/full/rep%d", p.Name, i))
 		auc, cost, err := runScored(o.ctx(), p, o, rep, fullTermsRun(rep))
 		if err != nil {
 			return Table2Row{}, err
@@ -222,6 +223,9 @@ func RunVariants(p synth.Profile, full Table2Row, specs []VariantSpec, o Options
 	err = parallel.ForWorkersErr(o.ctx(), len(cells), par, func(ci int) error {
 		si, ri := ci/len(reps), ci%len(reps)
 		spec, rep := specs[si], reps[ri]
+		// Journal annotation: label the sweep cell so interleaved spans from
+		// concurrent cells are attributable after the fact.
+		o.Obs.Annotate("cell", fmt.Sprintf("%s/%s/rep%d", p.Name, spec.Name, ri))
 		src := rng.New(o.Seed).Stream(fmt.Sprintf("%s-%s-r%d", p.Name, spec.Name, ri))
 		auc, cost, err := runScored(o.ctx(), p, o, rep, func(ctx context.Context, cfg core.Config) ([]float64, error) {
 			cfg.Limit = limit

@@ -89,6 +89,7 @@ func TrainScale(o Options) ([]TrainScaleRow, error) {
 		terms := core.FullTerms(f)
 		var cell [2]resource.Cost
 		for pi, masked := range []bool{true, false} {
+			o.Obs.Annotate("cell", fmt.Sprintf("train_scale/f=%d/masked=%t", f, masked))
 			tracker := resource.NewTracker()
 			cfg := core.Config{
 				Workers: o.Workers,

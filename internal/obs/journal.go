@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Journal is the streaming JSONL event journal of one run: a line-oriented
+// log written incrementally while the run is in flight, so a multi-hour
+// SNP-scale run can be watched with `tail -f` and a killed run still leaves
+// a usable record up to the last flush.
+//
+// Every line is one JSON object with a "type" field and a "t_ns" timestamp
+// (nanoseconds since the recorder's wall clock started):
+//
+//	{"type":"open", ...}        run header: tool, build, span sample period
+//	{"type":"span", ...}        one completed phase span (sampled for terms)
+//	{"type":"counters", ...}    nonzero counter deltas since the last tick
+//	{"type":"pool", ...}        compute-pool occupancy gauge snapshot
+//	{"type":"progress", ...}    done/planned terms and sampled heap bytes
+//	{"type":"annotation", ...}  caller labels (e.g. eval sweep cells)
+//	{"type":"close", ...}       final full metrics snapshot + cancelled flag
+//
+// Writes go through one buffered writer under a mutex; the periodic tick
+// (default 1s) also flushes, bounding how much a hard kill can lose. The
+// schema is documented in DESIGN.md §11.
+type Journal struct {
+	rec      *Recorder
+	stopTick func()
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	file   io.Closer
+	closed bool
+	err    error // first write error, surfaced by Close
+
+	// lastCounters backs the tick's delta encoding; touched only by the tick
+	// goroutine and by Close after the ticker has stopped.
+	lastCounters [numCounters]int64
+
+	bufPool sync.Pool // *[]byte scratch for span lines
+}
+
+// journalEvent is the envelope of structured (non-span) journal lines.
+type journalEvent struct {
+	Type string `json:"type"`
+	TNs  int64  `json:"t_ns"`
+
+	// open
+	Tool            string `json:"tool,omitempty"`
+	Build           *Build `json:"build,omitempty"`
+	TermSampleEvery int    `json:"obs_term_sample,omitempty"`
+
+	// counters
+	Delta map[string]int64 `json:"delta,omitempty"`
+
+	// pool
+	Capacity int64 `json:"capacity,omitempty"`
+	Busy     int64 `json:"busy,omitempty"`
+	Waiting  int64 `json:"waiting,omitempty"`
+
+	// progress
+	Done      int64 `json:"done,omitempty"`
+	Planned   int64 `json:"planned,omitempty"`
+	HeapBytes int64 `json:"heap_bytes,omitempty"`
+
+	// annotation
+	Key   string `json:"key,omitempty"`
+	Value string `json:"value,omitempty"`
+
+	// close
+	Cancelled bool     `json:"cancelled,omitempty"`
+	Metrics   *Metrics `json:"metrics,omitempty"`
+}
+
+// OpenJournal creates the journal file, attaches the journal to the recorder
+// (span completions start streaming immediately), writes the open event, and
+// starts the periodic tick (interval ≤ 0 selects 1s). The recorder must be
+// enabled: a journal without a recorder has nothing to stream.
+func OpenJournal(path string, rec *Recorder, tool string, interval time.Duration) (*Journal, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("obs: journal requires an enabled recorder")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		rec:  rec,
+		w:    bufio.NewWriterSize(f, 1<<16),
+		file: f,
+		bufPool: sync.Pool{New: func() any {
+			b := make([]byte, 0, 128)
+			return &b
+		}},
+	}
+	build := BuildInfo()
+	j.writeEvent(journalEvent{
+		Type: "open", TNs: j.now(), Tool: tool,
+		Build: &build, TermSampleEvery: rec.SampleEvery(),
+	})
+	j.flush()
+	rec.journal = j
+
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				j.tick()
+			}
+		}
+	}()
+	var once sync.Once
+	j.stopTick = func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+	return j, nil
+}
+
+// now is the journal timestamp: nanoseconds since the recorder's start, so
+// journal events and span start_ns values share one clock.
+func (j *Journal) now() int64 { return int64(time.Since(j.rec.start)) }
+
+// tick emits the periodic sampled state — counter deltas, pool gauges,
+// progress — and flushes, so the on-disk journal is never more than one
+// interval stale. Each tick also folds a heap sample into the high-water
+// mark, mirroring the progress loop.
+func (j *Journal) tick() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	j.rec.ObserveHeap(int64(ms.HeapAlloc))
+	t := j.now()
+
+	delta := make(map[string]int64)
+	for c := Counter(0); c < numCounters; c++ {
+		v := j.rec.counters[c].Load()
+		if d := v - j.lastCounters[c]; d != 0 {
+			delta[c.String()] = d
+			j.lastCounters[c] = v
+		}
+	}
+	if len(delta) > 0 {
+		j.writeEvent(journalEvent{Type: "counters", TNs: t, Delta: delta})
+	}
+	if capacity := j.rec.pool.capacity.Load(); capacity > 0 {
+		busy, waiting := j.rec.PoolGauges()
+		j.writeEvent(journalEvent{
+			Type: "pool", TNs: t,
+			Capacity: capacity, Busy: busy, Waiting: waiting,
+		})
+	}
+	done, planned := j.rec.progress()
+	j.writeEvent(journalEvent{
+		Type: "progress", TNs: t,
+		Done: done, Planned: planned, HeapBytes: int64(ms.HeapAlloc),
+	})
+	j.flush()
+}
+
+// span appends one completed span line. This is the journal's hot path —
+// sampled term spans funnel here from every worker — so the line is built
+// with append-style formatting into pooled scratch instead of json.Marshal.
+func (j *Journal) span(p Phase, worker int32, startNs, durNs int64) {
+	bp := j.bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"type":"span","phase":"`...)
+	b = append(b, p.String()...)
+	b = append(b, '"')
+	if worker >= 0 {
+		b = append(b, `,"worker":`...)
+		b = appendInt(b, int64(worker))
+	}
+	b = append(b, `,"start_ns":`...)
+	b = appendInt(b, startNs)
+	b = append(b, `,"dur_ns":`...)
+	b = appendInt(b, durNs)
+	b = append(b, '}', '\n')
+	j.write(b)
+	*bp = b
+	j.bufPool.Put(bp)
+}
+
+// appendInt is strconv.AppendInt base 10 without the import noise.
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+// annotate appends a caller-supplied key/value annotation line.
+func (j *Journal) annotate(key, value string) {
+	j.writeEvent(journalEvent{Type: "annotation", TNs: j.now(), Key: key, Value: value})
+}
+
+// writeEvent marshals and appends one structured event line.
+func (j *Journal) writeEvent(ev journalEvent) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		j.keepErr(err)
+		return
+	}
+	j.write(append(blob, '\n'))
+}
+
+// write appends one pre-encoded line under the journal lock. Writes after
+// Close are dropped (in-flight spans can still land while the session shuts
+// down).
+func (j *Journal) write(line []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if _, err := j.w.Write(line); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *Journal) flush() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *Journal) keepErr(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+// Close stops the tick, emits one final tick (so the last counter deltas are
+// not lost), writes the close event embedding the complete final metrics
+// snapshot and the cancelled flag, flushes, and closes the file. The journal
+// is then inert: later span writes are dropped. Returns the first error the
+// journal encountered.
+func (j *Journal) Close(cancelled bool, final Metrics) error {
+	if j == nil {
+		return nil
+	}
+	j.stopTick()
+	j.tick()
+	j.writeEvent(journalEvent{
+		Type: "close", TNs: j.now(),
+		Cancelled: cancelled, Metrics: &final,
+	})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if err := j.file.Close(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readJournalLines parses a journal file into raw JSON objects per line.
+func readJournalLines(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func linesOfType(lines []map[string]any, typ string) []map[string]any {
+	var out []map[string]any
+	for _, l := range lines {
+		if l["type"] == typ {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestJournalEvents drives the full event vocabulary through a journal and
+// checks the resulting JSONL: an open header, span lines with worker
+// attribution, counter deltas, pool gauges, progress, annotations, and a
+// close event embedding the complete final metrics snapshot.
+func TestJournalEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	r := New()
+	r.SetSampleEvery(1)
+	// A long tick interval: the test drives the final tick via Close, so the
+	// ticker goroutine never interleaves nondeterministically.
+	j, err := OpenJournal(path, r, "frac-test", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	span := r.Start(PhaseTrain)
+	span.End()
+	ws := r.StartSampledWorker(PhaseTermTrain, 3)
+	ws.End()
+	r.Add(CounterTermsTrained, 7)
+	r.PoolCapacity(4)
+	r.PoolAcquired(0, false)
+	r.Annotate("cell", "biomarkers/full/rep0")
+	r.AddPlanned(10)
+
+	final := r.Snapshot()
+	if err := j.Close(false, final); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := readJournalLines(t, path)
+	if len(lines) == 0 {
+		t.Fatal("empty journal")
+	}
+	open := lines[0]
+	if open["type"] != "open" || open["tool"] != "frac-test" {
+		t.Errorf("first line is not the open event: %v", open)
+	}
+	if open["obs_term_sample"] != float64(1) {
+		t.Errorf("open event sample period = %v, want 1", open["obs_term_sample"])
+	}
+	if open["build"] == nil {
+		t.Errorf("open event missing build info")
+	}
+
+	spans := linesOfType(lines, "span")
+	if len(spans) != 2 {
+		t.Fatalf("got %d span lines, want 2", len(spans))
+	}
+	var sawPhase, sawWorker bool
+	for _, s := range spans {
+		if _, ok := s["start_ns"]; !ok {
+			t.Errorf("span missing start_ns: %v", s)
+		}
+		if _, ok := s["dur_ns"]; !ok {
+			t.Errorf("span missing dur_ns: %v", s)
+		}
+		switch s["phase"] {
+		case "train":
+			sawPhase = true
+			if _, ok := s["worker"]; ok {
+				t.Errorf("whole-phase span carries a worker id: %v", s)
+			}
+		case "term_train":
+			sawWorker = true
+			if s["worker"] != float64(3) {
+				t.Errorf("term span worker = %v, want 3", s["worker"])
+			}
+		}
+	}
+	if !sawPhase || !sawWorker {
+		t.Errorf("missing span kinds: phase=%v worker=%v", sawPhase, sawWorker)
+	}
+
+	counters := linesOfType(lines, "counters")
+	if len(counters) == 0 {
+		t.Fatal("no counters event (final tick should emit the deltas)")
+	}
+	delta := counters[0]["delta"].(map[string]any)
+	if delta["terms_trained"] != float64(7) {
+		t.Errorf("counter delta = %v, want terms_trained 7", delta)
+	}
+
+	if pools := linesOfType(lines, "pool"); len(pools) == 0 {
+		t.Error("no pool gauge event despite nonzero capacity")
+	} else if pools[0]["capacity"] != float64(4) {
+		t.Errorf("pool capacity = %v, want 4", pools[0]["capacity"])
+	}
+
+	if progress := linesOfType(lines, "progress"); len(progress) == 0 {
+		t.Error("no progress event")
+	} else if progress[0]["planned"] != float64(10) {
+		t.Errorf("progress planned = %v, want 10", progress[0]["planned"])
+	}
+
+	ann := linesOfType(lines, "annotation")
+	if len(ann) != 1 || ann[0]["key"] != "cell" || ann[0]["value"] != "biomarkers/full/rep0" {
+		t.Errorf("annotation lines = %v", ann)
+	}
+
+	last := lines[len(lines)-1]
+	if last["type"] != "close" {
+		t.Fatalf("last line type = %v, want close", last["type"])
+	}
+	if _, ok := last["cancelled"]; ok {
+		t.Errorf("clean close carries cancelled flag: %v", last)
+	}
+	metrics, ok := last["metrics"].(map[string]any)
+	if !ok {
+		t.Fatal("close event missing embedded metrics")
+	}
+	cm := metrics["counters"].(map[string]any)
+	if cm["terms_trained"] != float64(7) {
+		t.Errorf("embedded metrics counters = %v", cm)
+	}
+}
+
+// TestJournalCancelledClose: a cancelled run's close event is flagged, and
+// span writes after Close are dropped instead of corrupting the file.
+func TestJournalCancelledClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	r := New()
+	j, err := OpenJournal(path, r, "frac-test", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := r.Snapshot()
+	final.Cancelled = true
+	if err := j.Close(true, final); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown stragglers: an in-flight span completing after Close.
+	r.Start(PhaseScore).End()
+	if err := j.Close(true, final); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	lines := readJournalLines(t, path)
+	last := lines[len(lines)-1]
+	if last["type"] != "close" || last["cancelled"] != true {
+		t.Errorf("close event = %v, want cancelled close", last)
+	}
+	if m := last["metrics"].(map[string]any); m["cancelled"] != true {
+		t.Errorf("embedded metrics not flagged cancelled: %v", m["cancelled"])
+	}
+}
+
+// TestJournalStreamsWhileOpen: the periodic tick flushes, so a reader (or a
+// post-mortem after SIGKILL) sees events without waiting for Close.
+func TestJournalStreamsWhileOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	r := New()
+	j, err := OpenJournal(path, r, "frac-test", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close(false, Metrics{})
+	r.Add(CounterTermsScored, 3)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		blob, err := os.ReadFile(path)
+		if err == nil && strings.Contains(string(blob), `"type":"progress"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flushed progress event within deadline; journal so far:\n%s", blob)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJournalRequiresRecorder: a journal without an enabled recorder is a
+// configuration error, not a silent no-op.
+func TestJournalRequiresRecorder(t *testing.T) {
+	if _, err := OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"), nil, "x", 0); err == nil {
+		t.Fatal("OpenJournal(nil recorder) succeeded")
+	}
+	var j *Journal
+	if err := j.Close(false, Metrics{}); err != nil {
+		t.Fatalf("nil journal Close: %v", err)
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -9007, 1 << 40, -(1 << 40)} {
+		got := string(appendInt(nil, v))
+		want := json.Number(got).String()
+		var back int64
+		if err := json.Unmarshal([]byte(got), &back); err != nil || back != v {
+			t.Errorf("appendInt(%d) = %q (%v), parse-back %d", v, want, err, back)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type Manifest struct {
 	Seed       uint64       `json:"seed"`
 	ConfigHash string       `json:"config_hash,omitempty"`
 	Dataset    *DatasetInfo `json:"dataset,omitempty"`
+	// TermSampleEvery is the per-term span sampling period the run used
+	// (-obs-term-sample); sampled span counts undercount real events by this
+	// factor, so consumers need it to rescale.
+	TermSampleEvery int `json:"obs_term_sample,omitempty"`
 
 	Build      Build  `json:"build"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

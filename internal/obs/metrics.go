@@ -73,13 +73,17 @@ type ProgressMetrics struct {
 // Metrics is the run_metrics.json document: a complete structured dump of
 // one run's telemetry plus its manifest.
 type Metrics struct {
-	Manifest *Manifest               `json:"manifest,omitempty"`
-	WallNs   int64                   `json:"wall_ns"`
-	Phases   map[string]PhaseMetrics `json:"phases"`
-	Counters map[string]int64        `json:"counters"`
-	Pool     *PoolMetrics            `json:"pool,omitempty"`
-	Memory   MemoryMetrics           `json:"memory"`
-	Progress ProgressMetrics         `json:"progress"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+	// Cancelled marks a document written for a run that was interrupted
+	// (SIGINT/SIGTERM): the numbers are a valid but partial account of the
+	// work done before cancellation.
+	Cancelled bool                    `json:"cancelled,omitempty"`
+	WallNs    int64                   `json:"wall_ns"`
+	Phases    map[string]PhaseMetrics `json:"phases"`
+	Counters  map[string]int64        `json:"counters"`
+	Pool      *PoolMetrics            `json:"pool,omitempty"`
+	Memory    MemoryMetrics           `json:"memory"`
+	Progress  ProgressMetrics         `json:"progress"`
 }
 
 // Snapshot renders the recorder's current state. It reads runtime.MemStats

@@ -219,6 +219,14 @@ type Recorder struct {
 	start       time.Time
 	sampleEvery int64
 
+	// journal and spans are the optional live sinks: a streaming JSONL event
+	// journal and a bounded in-memory span log for trace-event export. Both
+	// are attached before the run's fan-out starts (Session.Start) and only
+	// read concurrently through their own synchronization, so the fields
+	// themselves need no atomics.
+	journal *Journal
+	spans   *spanLog
+
 	phases   [numPhases]phaseStat
 	counters [numCounters]atomic.Int64
 	tick     atomic.Int64 // per-term span sampling clock
@@ -253,13 +261,24 @@ func (r *Recorder) SetSampleEvery(n int) {
 	r.sampleEvery = int64(n)
 }
 
+// SampleEvery reports the per-term span sampling period (0 when disabled),
+// recorded in the run manifest so journal and trace consumers can scale
+// sampled span counts back to real event rates.
+func (r *Recorder) SampleEvery() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.sampleEvery)
+}
+
 // Span is an in-flight phase timing; obtained from Start/StartSampled and
 // closed with End. The zero Span (disabled recorder, or a sampled-out term)
 // is a valid no-op.
 type Span struct {
-	r     *Recorder
-	phase Phase
-	t0    time.Time
+	r      *Recorder
+	phase  Phase
+	worker int32 // worker index for term spans; -1 for whole-phase spans
+	t0     time.Time
 }
 
 // Start opens a span for a whole-phase timing. Nil-safe.
@@ -267,7 +286,7 @@ func (r *Recorder) Start(p Phase) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{r: r, phase: p, t0: time.Now()}
+	return Span{r: r, phase: p, worker: -1, t0: time.Now()}
 }
 
 // StartSampled opens a per-term span subject to the sampling period: only
@@ -275,21 +294,51 @@ func (r *Recorder) Start(p Phase) Span {
 // Span. Sampling bounds the enabled-telemetry overhead on runs with many
 // cheap terms.
 func (r *Recorder) StartSampled(p Phase) Span {
+	return r.StartSampledWorker(p, -1)
+}
+
+// StartSampledWorker is StartSampled with worker-track attribution: the
+// sampled span carries the calling worker's index, so journal events and
+// exported trace tracks show which worker ran the term. The attribution is
+// observation-only — sampling and statistics are identical to StartSampled.
+func (r *Recorder) StartSampledWorker(p Phase, worker int) Span {
 	if r == nil {
 		return Span{}
 	}
 	if r.sampleEvery > 1 && r.tick.Add(1)%r.sampleEvery != 0 {
 		return Span{}
 	}
-	return Span{r: r, phase: p, t0: time.Now()}
+	return Span{r: r, phase: p, worker: int32(worker), t0: time.Now()}
 }
 
-// End closes the span, folding its duration into the phase statistics.
+// End closes the span, folding its duration into the phase statistics and —
+// when the live sinks are attached — the span log and the event journal.
 func (s Span) End() {
 	if s.r == nil {
 		return
 	}
-	s.r.phases[s.phase].observe(int64(time.Since(s.t0)))
+	dur := int64(time.Since(s.t0))
+	s.r.phases[s.phase].observe(dur)
+	if s.r.spans == nil && s.r.journal == nil {
+		return
+	}
+	startNs := int64(s.t0.Sub(s.r.start))
+	if s.r.spans != nil {
+		s.r.spans.add(s.phase, s.worker, startNs, dur)
+	}
+	if s.r.journal != nil {
+		s.r.journal.span(s.phase, s.worker, startNs, dur)
+	}
+}
+
+// Annotate forwards a key/value annotation to the event journal (for
+// example, the eval harness labels which sweep cell a phase belongs to).
+// A no-op without an attached journal, so callers may annotate freely.
+func (r *Recorder) Annotate(key, value string) {
+	if r == nil || r.journal == nil {
+		return
+	}
+	r.journal.annotate(key, value)
 }
 
 // Add increments a counter by n. Nil-safe.

@@ -20,6 +20,9 @@ func TestNilRecorderZeroAllocs(t *testing.T) {
 		span.End()
 		span = r.StartSampled(PhaseTermScore)
 		span.End()
+		span = r.StartSampledWorker(PhaseTermScore, 2)
+		span.End()
+		r.Annotate("cell", "x")
 		r.Add(CounterTermsTrained, 1)
 		_ = r.Count(CounterTermsTrained)
 		r.AddPlanned(10)
@@ -48,6 +51,9 @@ func TestEnabledRecorderSteadyStateAllocs(t *testing.T) {
 		span.End()
 		span = r.StartSampled(PhaseTermScore)
 		span.End()
+		span = r.StartSampledWorker(PhaseTermScore, 2)
+		span.End()
+		r.Annotate("cell", "x") // no journal attached: must stay free
 		r.Add(CounterTermsScored, 1)
 		r.PoolWaitBegin()
 		r.PoolAcquired(time.Microsecond, true)
@@ -237,6 +243,49 @@ func TestConfigHash(t *testing.T) {
 	}
 	if len(a) != 16 {
 		t.Errorf("hash length = %d, want 16 hex digits", len(a))
+	}
+}
+
+// TestConfigHashStability is the manifest identity contract: the hash must
+// not depend on map insertion order (Go map iteration is randomized, so an
+// unstable hash would differ between identical runs), and changing the seed
+// or the variant — and nothing else — must change it.
+func TestConfigHashStability(t *testing.T) {
+	build := func(pairs [][2]string) map[string]string {
+		kv := make(map[string]string, len(pairs))
+		for _, p := range pairs {
+			kv[p[0]] = p[1]
+		}
+		return kv
+	}
+	pairs := [][2]string{
+		{"variant", "full"}, {"seed", "1"}, {"workers", "4"},
+		{"p", "0.05"}, {"members", "10"}, {"learners", "paper"},
+	}
+	forward := build(pairs)
+	reversed := build(pairs)
+	for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+	}
+	shuffled := build(pairs)
+	base := ConfigHash(forward)
+	for trial := 0; trial < 10; trial++ {
+		if got := ConfigHash(reversed); got != base {
+			t.Fatalf("hash differs for reversed insertion order: %s vs %s", got, base)
+		}
+		if got := ConfigHash(shuffled); got != base {
+			t.Fatalf("hash differs for shuffled insertion order: %s vs %s", got, base)
+		}
+	}
+	seedChanged := build(pairs)
+	seedChanged["seed"] = "2"
+	if ConfigHash(seedChanged) == base {
+		t.Error("changing the seed did not change the hash")
+	}
+	variantChanged := build(pairs)
+	variantChanged["variant"] = "jl"
+	if ConfigHash(variantChanged) == base {
+		t.Error("changing the variant did not change the hash")
 	}
 }
 

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// startSession builds a Session from flag values the way a CLI would.
+func startSession(t *testing.T, f CLIFlags) *Session {
+	t.Helper()
+	s, err := f.Start("frac-test", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("Start returned a nil session without -version")
+	}
+	return s
+}
+
+// TestSessionSinks: one session with metrics, journal, and trace export all
+// enabled writes all three artifacts, sharing a consistent final snapshot,
+// and records the configured span sampling period in the manifest.
+func TestSessionSinks(t *testing.T) {
+	dir := t.TempDir()
+	f := CLIFlags{
+		MetricsOut:     filepath.Join(dir, "run_metrics.json"),
+		JournalOut:     filepath.Join(dir, "journal.jsonl"),
+		TraceEventsOut: filepath.Join(dir, "trace.json"),
+		TermSample:     2,
+	}
+	if !f.Enabled() {
+		t.Fatal("flags should enable telemetry")
+	}
+	s := startSession(t, f)
+	if s.Rec == nil {
+		t.Fatal("enabled session has no recorder")
+	}
+	if s.Manifest.TermSampleEvery != 2 {
+		t.Errorf("manifest sample period = %d, want 2", s.Manifest.TermSampleEvery)
+	}
+	s.Manifest.Variant = "full"
+	s.Rec.Start(PhaseTrain).End()
+	s.Rec.StartSampledWorker(PhaseTermTrain, 0).End()
+	s.Rec.StartSampledWorker(PhaseTermTrain, 0).End() // one of the two is sampled in
+	s.Rec.Add(CounterTermsTrained, 2)
+
+	if err := s.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var m Metrics
+	blob, err := os.ReadFile(f.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled {
+		t.Error("clean run flagged cancelled")
+	}
+	if m.Manifest == nil || m.Manifest.Variant != "full" || m.Manifest.TermSampleEvery != 2 {
+		t.Errorf("metrics manifest = %+v", m.Manifest)
+	}
+	if m.Counters["terms_trained"] != 2 {
+		t.Errorf("counters = %v", m.Counters)
+	}
+
+	jblob, err := os.ReadFile(f.JournalOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(jblob), "\n"), "\n")
+	var last struct {
+		Type    string   `json:"type"`
+		Metrics *Metrics `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "close" || last.Metrics == nil {
+		t.Fatalf("journal last line = %q", lines[len(lines)-1])
+	}
+	if last.Metrics.Counters["terms_trained"] != m.Counters["terms_trained"] {
+		t.Error("journal close metrics disagree with run_metrics.json")
+	}
+
+	tblob, err := os.ReadFile(f.TraceEventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tblob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace export has no events")
+	}
+}
+
+// TestSessionCancelledClose is the interrupted-run contract: Close with a
+// context cancellation still writes the metrics document and the journal
+// close event, both flagged cancelled, so a ^C run leaves a valid partial
+// account.
+func TestSessionCancelledClose(t *testing.T) {
+	dir := t.TempDir()
+	f := CLIFlags{
+		MetricsOut: filepath.Join(dir, "run_metrics.json"),
+		JournalOut: filepath.Join(dir, "journal.jsonl"),
+		TermSample: DefaultTermSample,
+	}
+	s := startSession(t, f)
+	s.Rec.Add(CounterTermsScored, 3)
+	if err := s.Close(context.Canceled); err != nil {
+		t.Fatal(err)
+	}
+
+	var m Metrics
+	blob, err := os.ReadFile(f.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancelled {
+		t.Error("cancelled run's metrics not flagged")
+	}
+	if m.Counters["terms_scored"] != 3 {
+		t.Errorf("partial counters lost: %v", m.Counters)
+	}
+
+	jf, err := os.Open(f.JournalOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	sawCancelledClose := false
+	sc := bufio.NewScanner(jf)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var ev struct {
+			Type      string `json:"type"`
+			Cancelled bool   `json:"cancelled"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == "close" && ev.Cancelled {
+			sawCancelledClose = true
+		}
+	}
+	if !sawCancelledClose {
+		t.Error("journal has no cancelled close event")
+	}
+}
+
+// TestSessionDisabledAndNil: with no telemetry flags the recorder stays nil
+// (the zero-overhead path), and a nil session (the -version exit) closes
+// cleanly.
+func TestSessionDisabledAndNil(t *testing.T) {
+	var f CLIFlags
+	if f.Enabled() {
+		t.Fatal("zero flags report enabled")
+	}
+	s := startSession(t, f)
+	if s.Rec != nil {
+		t.Error("disabled session allocated a recorder")
+	}
+	if err := s.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	var nilSess *Session
+	if err := nilSess.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIFlagsRegister: the full observability flag surface registers on a
+// fresh FlagSet and parses back.
+func TestCLIFlagsRegister(t *testing.T) {
+	var f CLIFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	err := fs.Parse([]string{
+		"-progress", "-metrics-out", "m.json", "-journal-out", "j.jsonl",
+		"-trace-events-out", "t.json", "-debug-addr", "localhost:0",
+		"-obs-term-sample", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Progress || f.MetricsOut != "m.json" || f.JournalOut != "j.jsonl" ||
+		f.TraceEventsOut != "t.json" || f.DebugAddr != "localhost:0" || f.TermSample != 4 {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	if !f.Enabled() {
+		t.Error("flags not enabled")
+	}
+}

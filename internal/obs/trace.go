@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultSpanLogCapacity bounds the in-memory span log backing trace-event
+// export: 1<<16 records (~2MiB) covers every whole-phase span plus the
+// sampled term spans of a large run; past the cap new spans are counted as
+// dropped rather than grown into unbounded memory.
+const DefaultSpanLogCapacity = 1 << 16
+
+// spanRecord is one completed span retained for trace export.
+type spanRecord struct {
+	phase   Phase
+	worker  int32
+	startNs int64 // since recorder start
+	durNs   int64
+}
+
+// spanLog is a bounded lock-free append log of completed spans. Slots are
+// claimed with an atomic counter; spans past the capacity increment the drop
+// counter instead (keep-earliest, so the run's phase skeleton is always
+// present). Reads (trace export) happen after the run quiesces.
+type spanLog struct {
+	recs    []spanRecord
+	next    atomic.Int64
+	dropped atomic.Int64
+}
+
+func (l *spanLog) add(p Phase, worker int32, startNs, durNs int64) {
+	i := l.next.Add(1) - 1
+	if int(i) >= len(l.recs) {
+		l.dropped.Add(1)
+		return
+	}
+	l.recs[i] = spanRecord{phase: p, worker: worker, startNs: startNs, durNs: durNs}
+}
+
+// EnableSpanLog attaches a bounded span log of the given capacity (≤ 0
+// selects DefaultSpanLogCapacity) so completed spans can be exported as
+// Chrome trace events after the run. Attach before the run's fan-out starts.
+func (r *Recorder) EnableSpanLog(capacity int) {
+	if r == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanLogCapacity
+	}
+	r.spans = &spanLog{recs: make([]spanRecord, capacity)}
+}
+
+// traceEvent is one Chrome trace-event object ("X" complete events plus "M"
+// metadata), the JSON Perfetto and chrome://tracing load directly.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the trace.json envelope.
+type traceDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTraceEvents renders the recorded spans as a Chrome trace-event
+// document viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Track mapping (DESIGN.md §11): whole-phase spans land on tid 0 ("phases");
+// per-term sampled spans land on tid worker+1 ("worker N"), so the timeline
+// shows which worker ran each sampled term. Call after the run quiesces —
+// the span log is read without synchronization.
+func (r *Recorder) WriteTraceEvents(w io.Writer, process string) error {
+	doc := traceDoc{DisplayTimeUnit: "ms", OtherData: map[string]any{}}
+	if r == nil || r.spans == nil {
+		doc.TraceEvents = []traceEvent{}
+		return writeTraceDoc(w, doc)
+	}
+	n := int(r.spans.next.Load())
+	if n > len(r.spans.recs) {
+		n = len(r.spans.recs)
+	}
+	doc.OtherData["span_sample_every"] = r.SampleEvery()
+	if dropped := r.spans.dropped.Load(); dropped > 0 {
+		doc.OtherData["spans_dropped"] = dropped
+	}
+
+	const pid = 1
+	events := make([]traceEvent, 0, n+8)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": process},
+	})
+	tids := map[int]bool{}
+	for i := 0; i < n; i++ {
+		rec := r.spans.recs[i]
+		tid := 0
+		cat := "phase"
+		if rec.worker >= 0 {
+			tid = int(rec.worker) + 1
+			cat = "term"
+		}
+		if !tids[tid] {
+			tids[tid] = true
+			name := "phases"
+			if tid > 0 {
+				name = workerTrackName(tid - 1)
+			}
+			events = append(events,
+				traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": name}},
+				traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"sort_index": tid}},
+			)
+		}
+		events = append(events, traceEvent{
+			Name: rec.phase.String(), Cat: cat, Ph: "X",
+			Ts:  float64(rec.startNs) / 1e3,
+			Dur: float64(rec.durNs) / 1e3,
+			Pid: pid, Tid: tid,
+		})
+	}
+	// Stable order: metadata first, then spans by start time — viewers do not
+	// require it, but it makes the file diffable and testable.
+	sort.SliceStable(events, func(i, k int) bool {
+		mi, mk := events[i].Ph == "M", events[k].Ph == "M"
+		if mi != mk {
+			return mi
+		}
+		return events[i].Ts < events[k].Ts
+	})
+	doc.TraceEvents = events
+	return writeTraceDoc(w, doc)
+}
+
+// workerTrackName renders the per-worker track label.
+func workerTrackName(worker int) string {
+	b := append([]byte("worker "), appendInt(nil, int64(worker))...)
+	return string(b)
+}
+
+// WriteTraceFile writes the trace-event document to path.
+func (r *Recorder) WriteTraceFile(path, process string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTraceEvents(f, process); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTraceDoc(w io.Writer, doc traceDoc) error {
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodedTrace mirrors the trace.json schema for test-side decoding.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// TestWriteTraceEvents checks the Chrome trace-event export: a valid JSON
+// document with process/thread metadata, whole-phase spans on the "phases"
+// track, and sampled term spans attributed to per-worker tracks.
+func TestWriteTraceEvents(t *testing.T) {
+	r := New()
+	r.SetSampleEvery(1)
+	r.EnableSpanLog(0)
+
+	r.Start(PhaseTrain).End()
+	r.StartSampledWorker(PhaseTermTrain, 0).End()
+	r.StartSampledWorker(PhaseTermTrain, 2).End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf, "frac-test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace.json is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["span_sample_every"] != float64(1) {
+		t.Errorf("span_sample_every = %v, want 1", doc.OtherData["span_sample_every"])
+	}
+
+	threadNames := map[int]string{}
+	var spans, metas int
+	metadataDone := false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+			if metadataDone {
+				t.Errorf("metadata event %q after the first span", ev.Name)
+			}
+			switch ev.Name {
+			case "process_name":
+				if ev.Args["name"] != "frac-test" {
+					t.Errorf("process_name = %v", ev.Args["name"])
+				}
+			case "thread_name":
+				threadNames[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			metadataDone = true
+			spans++
+			if ev.Pid != 1 {
+				t.Errorf("span pid = %d, want 1", ev.Pid)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur: %+v", ev)
+			}
+			switch ev.Name {
+			case "train":
+				if ev.Tid != 0 || ev.Cat != "phase" {
+					t.Errorf("whole-phase span on tid %d cat %q", ev.Tid, ev.Cat)
+				}
+			case "term_train":
+				if ev.Tid == 0 || ev.Cat != "term" {
+					t.Errorf("term span on tid %d cat %q", ev.Tid, ev.Cat)
+				}
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if spans != 3 {
+		t.Errorf("exported %d spans, want 3", spans)
+	}
+	if threadNames[0] != "phases" {
+		t.Errorf("tid 0 named %q, want phases", threadNames[0])
+	}
+	if threadNames[1] != "worker 0" || threadNames[3] != "worker 2" {
+		t.Errorf("worker tracks = %v, want worker 0 on tid 1 and worker 2 on tid 3", threadNames)
+	}
+}
+
+// TestSpanLogDrop: past the capacity, spans are counted as dropped
+// (keep-earliest) and the export reports the drop count.
+func TestSpanLogDrop(t *testing.T) {
+	r := New()
+	r.SetSampleEvery(1)
+	r.EnableSpanLog(4)
+	for i := 0; i < 10; i++ {
+		r.Start(PhaseCombine).End()
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf, "p"); err != nil {
+		t.Fatal(err)
+	}
+	var doc decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["spans_dropped"] != float64(6) {
+		t.Errorf("spans_dropped = %v, want 6", doc.OtherData["spans_dropped"])
+	}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 4 {
+		t.Errorf("exported %d spans, want the 4 retained", spans)
+	}
+	// All 10 observations still land in the phase statistics — the span log
+	// bounds memory, not accounting.
+	if got := r.Snapshot().Phases[PhaseCombine.String()].Count; got != 10 {
+		t.Errorf("phase count = %d, want 10", got)
+	}
+}
+
+// TestTraceDisabledAndNil: without a span log (or with a nil recorder) the
+// export still writes a valid empty document.
+func TestTraceDisabledAndNil(t *testing.T) {
+	for name, r := range map[string]*Recorder{"nil": nil, "no-spanlog": New()} {
+		var buf bytes.Buffer
+		if err := r.WriteTraceEvents(&buf, "p"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var doc decodedTrace
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(doc.TraceEvents) != 0 {
+			t.Errorf("%s: %d events, want 0", name, len(doc.TraceEvents))
+		}
+	}
+}

@@ -112,6 +112,35 @@ func TestLimitCancelledAcquireClosesGauges(t *testing.T) {
 	}
 }
 
+// TestLimitStats: the live capacity/busy readout the debug server's
+// /progress endpoint polls, including the nil pool (server wired before the
+// pool exists).
+func TestLimitStats(t *testing.T) {
+	var nilLimit *Limit
+	if c, b := nilLimit.Stats(); c != 0 || b != 0 {
+		t.Errorf("nil limit stats = %d/%d, want 0/0", c, b)
+	}
+	l := NewLimit(3)
+	if c, b := l.Stats(); c != 3 || b != 0 {
+		t.Errorf("idle stats = %d/%d, want 3/0", c, b)
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c, b := l.Stats(); c != 3 || b != 2 {
+		t.Errorf("stats with 2 held = %d/%d, want 3/2", c, b)
+	}
+	l.Release()
+	l.Release()
+	if c, b := l.Stats(); c != 3 || b != 0 {
+		t.Errorf("drained stats = %d/%d, want 3/0", c, b)
+	}
+}
+
 // TestLimitUninstrumented: Instrument(nil) is a no-op and the bare pool works
 // unchanged — the disabled-telemetry configuration of every default run.
 func TestLimitUninstrumented(t *testing.T) {
