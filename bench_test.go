@@ -266,10 +266,11 @@ func BenchmarkTrainDataset(b *testing.B) {
 		for _, path := range []struct {
 			name    string
 			disable bool
-		}{{"masked", false}, {"gather", true}} {
+			f32     bool
+		}{{name: "masked"}, {name: "gather", disable: true}, {name: "masked32", f32: true}} {
 			b.Run(fmt.Sprintf("f=%d/%s", f, path.name), func(b *testing.B) {
 				b.ReportAllocs()
-				cfg := frac.Config{Seed: 5, DisableMaskedTrain: path.disable}
+				cfg := frac.Config{Seed: 5, DisableMaskedTrain: path.disable, Float32Design: path.f32}
 				for i := 0; i < b.N; i++ {
 					model, err := frac.Train(train, terms, cfg)
 					if err != nil {

@@ -49,6 +49,7 @@ type options struct {
 	workers  int
 	learners string
 	scores   bool
+	f32      bool
 
 	// obs is the run's telemetry recorder (nil unless a telemetry flag was
 	// given) and manifest carrier; limit is the shared instrumented compute
@@ -75,6 +76,7 @@ func main() {
 	flag.IntVar(&opt.workers, "workers", 0, "parallel trainings (0 = GOMAXPROCS)")
 	flag.StringVar(&opt.learners, "learners", "paper", "paper (SVR+tree) | tree")
 	flag.BoolVar(&opt.scores, "scores", false, "print per-sample scores")
+	flag.BoolVar(&opt.f32, "float32-design", false, "store the masked-training design cache as float32 (~2x kernel bandwidth; scores match the float64 path within tolerance, not bit for bit)")
 	saveModel := flag.String("save-model", "", "train full FRaC on -train and save the model here")
 	loadModel := flag.String("load-model", "", "load a saved model and score -test")
 	tele.Register(flag.CommandLine)
@@ -101,7 +103,9 @@ func main() {
 		"workers", strconv.Itoa(opt.workers),
 		"learners", opt.learners,
 		"replicates", strconv.Itoa(*replicates),
+		"float32-design", strconv.FormatBool(opt.f32),
 	)
+	opt.manifest.Float32Design = opt.f32
 	// When telemetry is on, run all term-level work through one instrumented
 	// compute pool so occupancy and queue-wait metrics cover every variant
 	// (the pool is sized exactly like the worker bound, so scheduling — and
@@ -187,7 +191,8 @@ func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options)
 		train.Anomalous = nil
 	}
 	opt.describeDataset(train.Name, train.NumFeatures(), train.NumSamples(), 0, 0)
-	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Obs: opt.obs}
+	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Obs: opt.obs,
+		Float32Design: opt.f32}
 	if opt.learners == "tree" {
 		cfg.Learners = frac.TreeLearnersDefault()
 	}
@@ -277,7 +282,7 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 		opt.obs.Annotate("replicate", strconv.Itoa(i))
 		tracker := resource.NewTracker()
 		cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Tracker: tracker,
-			Obs: opt.obs, Limit: opt.limit}
+			Obs: opt.obs, Limit: opt.limit, Float32Design: opt.f32}
 		if opt.learners == "tree" {
 			cfg.Learners = frac.TreeLearnersDefault()
 		}

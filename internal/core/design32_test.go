@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"frac/internal/obs"
+	"frac/internal/rng"
+)
+
+// Float32 design-cache path (Config.Float32Design): no bit-identity against
+// the float64 pipeline is possible — each design cell is rounded once to
+// float32 — so this file pins the path with tolerance goldens instead.
+//
+// float32Epsilon is the RELATIVE tolerance against the float64 golden pins,
+// per sample, with |score| floored at 1 (so near-zero scores compare
+// absolutely). Measured deviation on the golden fixture when the path was
+// introduced: max 1.4e-7 relative (sample 3), ~1e-8 typical. The pin leaves
+// ~70× headroom for platform-dependent rounding while still failing loudly
+// on any real defect (a wrong column, fold, or seed moves scores by O(1)).
+const float32Epsilon = 1e-5
+
+func TestFloat32DesignToleranceGoldens(t *testing.T) {
+	train, test := goldenTrainTest()
+	rec := obs.New()
+	res, err := Run(train, test, FullTerms(train.NumFeatures()),
+		Config{Seed: 42, Float32Design: true, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(obs.CounterTermsMasked) == 0 {
+		t.Fatal("float32 design run did not engage the masked path")
+	}
+	want := goldenCases[0].scores // the float64 paper-learners pins
+	if len(res.Scores) != len(want) {
+		t.Fatalf("got %d scores, want %d", len(res.Scores), len(want))
+	}
+	for i, s := range res.Scores {
+		pin := math.Float64frombits(want[i])
+		tol := float32Epsilon * math.Max(1, math.Abs(pin))
+		if d := math.Abs(s - pin); d > tol {
+			t.Errorf("sample %d: float32 path %v vs float64 pin %v (|Δ| = %g > %g)", i, s, pin, d, tol)
+		}
+	}
+}
+
+// TestFloat32DesignCloseToFloat64 is the tolerance analogue of
+// TestMaskedTrainingBitIdentical: across random shapes and missingness the
+// float32 path must track the float64 path per term within float32Epsilon,
+// while genuinely engaging the masked path.
+func TestFloat32DesignCloseToFloat64(t *testing.T) {
+	meta := rng.New(0xf32_feed)
+	var totalMasked int64
+	for trial := 0; trial < 5; trial++ {
+		n := 8 + meta.IntN(32)
+		f := 2 + meta.IntN(10)
+		seed := meta.Uint64()
+		src := rng.New(meta.Uint64())
+		train := randomRealDataset("f32-train", n, f, 0.3, 0.2, src)
+		test := randomRealDataset("f32-test", 6, f, 0.3, 0.2, src)
+		terms := FullTerms(f)
+
+		cfg := Config{Seed: seed, CVFolds: 3}
+		ref, err := Run(train, test, terms, cfg)
+		if err != nil {
+			t.Fatalf("trial %d float64 run: %v", trial, err)
+		}
+		rec := obs.New()
+		cfg32 := cfg
+		cfg32.Float32Design = true
+		cfg32.Obs = rec
+		got, err := Run(train, test, terms, cfg32)
+		if err != nil {
+			t.Fatalf("trial %d float32 run: %v", trial, err)
+		}
+		for ti := range terms {
+			a, b := ref.PerTerm.Row(ti), got.PerTerm.Row(ti)
+			for s := range a {
+				tol := float32Epsilon * math.Max(1, math.Abs(a[s]))
+				if d := math.Abs(a[s] - b[s]); d > tol {
+					t.Fatalf("trial %d (n=%d f=%d) term %d sample %d: float64 %v vs float32 %v (|Δ| = %g > %g)",
+						trial, n, f, ti, s, a[s], b[s], d, tol)
+				}
+			}
+		}
+		totalMasked += rec.Count(obs.CounterTermsMasked)
+	}
+	if totalMasked == 0 {
+		t.Error("float32 masked path never engaged — tolerance test is vacuous")
+	}
+}
+
+// TestFloat32DesignWorkerInvariance: tolerance against the float64 path,
+// but the float32 path itself is still deterministic — same seed, same
+// scores, bit for bit, at every worker count.
+func TestFloat32DesignWorkerInvariance(t *testing.T) {
+	train, test := goldenTrainTest()
+	terms := FullTerms(train.NumFeatures())
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := Run(train, test, terms, Config{Seed: 42, Workers: workers, Float32Design: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		for s := range got.Scores {
+			if math.Float64bits(got.Scores[s]) != math.Float64bits(ref.Scores[s]) {
+				t.Errorf("workers=%d sample %d: %v, want %v", w, s, got.Scores[s], ref.Scores[s])
+			}
+		}
+	}
+}
+
+// TestFloat32DesignCacheBytes: the float32 cache must report the halved
+// matrix footprint through CounterDesignCacheBytes (4 bytes per cell vs 8,
+// same statistics vectors).
+func TestFloat32DesignCacheBytes(t *testing.T) {
+	src := rng.New(11)
+	train := randomRealDataset("bytes-train", 20, 6, 0, 0, src)
+	test := randomRealDataset("bytes-test", 4, 6, 0, 0, src)
+	terms := FullTerms(6)
+	measure := func(f32 bool) int64 {
+		rec := obs.New()
+		if _, err := Run(train, test, terms, Config{Seed: 1, Float32Design: f32, Obs: rec}); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Count(obs.CounterDesignCacheBytes)
+	}
+	n, f := int64(20), int64(6)
+	stats := 2 * f * 8
+	if got, want := measure(false), n*f*8+stats; got != want {
+		t.Errorf("float64 cache bytes = %d, want %d", got, want)
+	}
+	if got, want := measure(true), n*f*4+stats; got != want {
+		t.Errorf("float32 cache bytes = %d, want %d", got, want)
+	}
+}

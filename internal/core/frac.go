@@ -54,6 +54,16 @@ type Config struct {
 	// so this exists for A/B benchmarking and the equivalence tests, not as
 	// a correctness escape hatch.
 	DisableMaskedTrain bool
+	// Float32Design stores the shared masked-training design matrix
+	// (DESIGN.md §10) as float32 instead of float64 — halving its memory and
+	// roughly doubling effective kernel bandwidth in the f ≫ n regime. The
+	// dual-CD trainer still accumulates in float64 and keeps float64
+	// weights, so only the stored design cells lose precision (one float32
+	// rounding each). Scores on this path are NOT bit-identical to the
+	// default pipeline — they agree within a small documented tolerance (see
+	// the float32 golden tests) — so the flag is opt-in. Terms ineligible
+	// for masked training are unaffected, as is scoring.
+	Float32Design bool
 }
 
 func (c Config) withDefaults() Config {

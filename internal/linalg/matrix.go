@@ -6,6 +6,11 @@ import (
 	"frac/internal/parallel"
 )
 
+//go:noinline
+func panicBadDims(op string, rows, cols int) {
+	panic(fmt.Sprintf("linalg: %s negative dimension %dx%d", op, rows, cols))
+}
+
 // Matrix is a dense row-major matrix of float64 values.
 type Matrix struct {
 	Rows, Cols int
@@ -15,7 +20,7 @@ type Matrix struct {
 // NewMatrix allocates a zeroed rows x cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("linalg: NewMatrix negative dimension %dx%d", rows, cols))
+		panicBadDims("NewMatrix", rows, cols)
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -27,7 +32,7 @@ func NewMatrix(rows, cols int) *Matrix {
 // paths.
 func Resize(m *Matrix, rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("linalg: Resize negative dimension %dx%d", rows, cols))
+		panicBadDims("Resize", rows, cols)
 	}
 	n := rows * cols
 	if m == nil {
@@ -98,7 +103,7 @@ func (m *Matrix) MulVec(x, dst []float64) []float64 {
 	}
 	dst = dst[:m.Rows]
 	for i := 0; i < m.Rows; i++ {
-		dst[i] = Dot(m.Row(i), x)
+		dst[i] = DotFast(m.Row(i), x) // fast tier: callers are tolerance-pinned
 	}
 	return dst
 }
@@ -150,7 +155,7 @@ func MulTransposed(a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+			orow[j] = DotFast(arow, b.Row(j)) // fast tier: tolerance-pinned call sites
 		}
 	})
 	return out

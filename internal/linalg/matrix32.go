@@ -1,0 +1,50 @@
+package linalg
+
+// Matrix32 is a dense row-major matrix of float32 values — the storage type
+// of the opt-in float32 design cache (Config.Float32Design). Consumers read
+// it through the mixed-precision kernels of vector32.go, which accumulate
+// in float64.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix32 allocates a zeroed rows x cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panicBadDims("NewMatrix32", rows, cols)
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Resize32 returns a rows x cols matrix reusing m's backing array when it
+// has the capacity (m may be nil). Contents are unspecified — callers must
+// overwrite every cell. The float32 counterpart of Resize.
+func Resize32(m *Matrix32, rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panicBadDims("Resize32", rows, cols)
+	}
+	n := rows * cols
+	if m == nil {
+		return NewMatrix32(rows, cols)
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// Row returns row i as a mutable slice view.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Bytes reports the memory footprint of the matrix payload.
+func (m *Matrix32) Bytes() int64 { return int64(len(m.Data)) * 4 }

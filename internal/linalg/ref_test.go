@@ -1,0 +1,280 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// Property tests pinning the unrolled kernels to naive scalar reference
+// implementations. The exact-order tier (Dot, Axpy, DotSkip, AxpySkip,
+// SqNormSkip) must match its frozen-order reference bit for bit at every
+// length 0..67 and every skip position, including NaN/±0/denormal inputs —
+// the frozen order is a documented contract (package comment, DESIGN.md
+// §12), so any change here is a breaking change that invalidates golden
+// pins. The fast reassociated tier (DotFast, SqDist) and the float32 tier
+// are pinned structurally: the float32 kernels must equal the frozen-order
+// reference on the widened values exactly (their ops are float64), and the
+// fast kernels must stay ulp-bounded against a sequential reference.
+
+const refMaxLen = 67 // spans 0, sub-group tails, and 16+ full 4-groups
+
+// refValues fills deterministic test vectors mixing magnitudes with the
+// special values the kernels must handle: NaN is exercised only where a
+// test says so (NaN poisons exact comparison of unrelated lanes in
+// ulp-bounded checks), but ±0 and denormals appear everywhere.
+func refValues(n int, state *uint64) []float64 {
+	next := func() float64 {
+		*state = *state*6364136223846793005 + 1442695040888963407
+		return float64(*state>>11)/float64(1<<53)*2 - 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		switch i % 7 {
+		case 3:
+			out[i] = math.Copysign(0, next()) // ±0
+		case 5:
+			out[i] = math.SmallestNonzeroFloat64 * math.Round(next()*8) // denormal
+		default:
+			out[i] = next() * math.Pow(2, math.Round(next()*20))
+		}
+	}
+	return out
+}
+
+// refDot is the scalar specification of the frozen exact-tier order: lane
+// s[j%4] accumulates element j of the first n-n%4 elements, lanes combine
+// as (s0+s1)+(s2+s3), and the tail adds sequentially.
+func refDot(x, y []float64) float64 {
+	n := len(x)
+	g := n - n%4
+	var s [4]float64
+	for j := 0; j < g; j++ {
+		s[j%4] += x[j] * y[j]
+	}
+	sum := (s[0] + s[1]) + (s[2] + s[3])
+	for j := g; j < n; j++ {
+		sum += x[j] * y[j]
+	}
+	return sum
+}
+
+// refSeqDot is the plain sequential dot product — the reference the
+// fast reassociated tier is ulp-bounded against.
+func refSeqDot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func gatherRef(x []float64, skip int) []float64 {
+	out := make([]float64, 0, len(x)-1)
+	out = append(out, x[:skip]...)
+	return append(out, x[skip+1:]...)
+}
+
+func TestDotMatchesFrozenOrderReference(t *testing.T) {
+	state := uint64(0x1234_5678_9abc_def0)
+	for n := 0; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		y := refValues(n, &state)
+		if got, want := Dot(x, y), refDot(x, y); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("n=%d: Dot = %v (bits %016x), frozen-order ref = %v (bits %016x)",
+				n, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestDotNaNPropagates(t *testing.T) {
+	x := []float64{1, math.NaN(), 3, 4, 5}
+	y := []float64{1, 2, 3, 4, 5}
+	if got := Dot(x, y); !math.IsNaN(got) {
+		t.Errorf("Dot with NaN input = %v, want NaN", got)
+	}
+	if got := DotSkip(x, y, 1); math.IsNaN(got) {
+		t.Errorf("DotSkip skipping the NaN column = %v, want finite", got)
+	}
+}
+
+func TestSkipKernelsMatchFrozenOrderReference(t *testing.T) {
+	state := uint64(0xfeed_face_cafe_beef)
+	for n := 1; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		y := refValues(n, &state)
+		for skip := 0; skip < n; skip++ {
+			gx, gy := gatherRef(x, skip), gatherRef(y, skip)
+			if got, want := DotSkip(x, y, skip), refDot(gx, gy); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d skip=%d: DotSkip = %v, frozen-order ref on gathered = %v", n, skip, got, want)
+			}
+			if got, want := SqNormSkip(x, skip), refDot(gx, gx); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d skip=%d: SqNormSkip = %v, frozen-order ref = %v", n, skip, got, want)
+			}
+		}
+	}
+}
+
+func TestAxpyMatchesNaiveReference(t *testing.T) {
+	state := uint64(0x0dd_ba11)
+	for n := 0; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		base := refValues(n, &state)
+		for _, a := range []float64{0, 1, -2.5, math.SmallestNonzeroFloat64} {
+			got := append([]float64(nil), base...)
+			want := append([]float64(nil), base...)
+			Axpy(a, x, got)
+			if a != 0 { // contract: a == 0 is a no-op, even over NaN x
+				for i := range want {
+					want[i] += a * x[i]
+				}
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d a=%v elem %d: Axpy = %v, naive = %v", n, a, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAxpySkipMatchesNaiveReference(t *testing.T) {
+	state := uint64(0xa11_0ca7ed)
+	for n := 1; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		base := refValues(n, &state)
+		for skip := 0; skip < n; skip++ {
+			got := append([]float64(nil), base...)
+			want := append([]float64(nil), base...)
+			AxpySkip(-1.75, x, got, skip)
+			for i := range want {
+				if i != skip {
+					want[i] += -1.75 * x[i]
+				}
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d skip=%d elem %d: AxpySkip = %v, naive = %v", n, skip, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// ulpBound returns an accumulation-error bound for comparing a reassociated
+// sum against a sequential one: both are within n·eps·Σ|terms| of the true
+// value, so they are within twice that of each other.
+func ulpBound(n int, termSum float64) float64 {
+	return 2 * float64(n+1) * 0x1p-52 * termSum
+}
+
+func TestDotFastUlpBoundedAgainstSequential(t *testing.T) {
+	state := uint64(0xf457_d07)
+	for n := 0; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		y := refValues(n, &state)
+		got := DotFast(x, y)
+		want := refSeqDot(x, y)
+		var mag float64
+		for i := range x {
+			mag += math.Abs(x[i] * y[i])
+		}
+		if diff := math.Abs(got - want); diff > ulpBound(n, mag) {
+			t.Errorf("n=%d: DotFast = %v, sequential = %v, diff %v > bound %v",
+				n, got, want, diff, ulpBound(n, mag))
+		}
+	}
+	// NaN propagates through the fast tier too.
+	if got := DotFast([]float64{1, math.NaN()}, []float64{1, 1}); !math.IsNaN(got) {
+		t.Errorf("DotFast with NaN = %v, want NaN", got)
+	}
+}
+
+func TestSqDistUlpBoundedAgainstSequential(t *testing.T) {
+	state := uint64(0x5fd6_57)
+	for n := 0; n <= refMaxLen; n++ {
+		x := refValues(n, &state)
+		y := refValues(n, &state)
+		got := SqDist(x, y)
+		var want, mag float64
+		for i := range x {
+			d := x[i] - y[i]
+			want += d * d
+			mag += d * d
+		}
+		if diff := math.Abs(got - want); diff > ulpBound(n, mag) {
+			t.Errorf("n=%d: SqDist = %v, sequential = %v, diff %v", n, got, want, diff)
+		}
+	}
+}
+
+// widen32 converts float32 storage back to the float64 values the mixed-
+// precision kernels actually operate on.
+func widen32(x []float32) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func narrow32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// The float32 kernels do all arithmetic in float64 over widened cells, with
+// the same frozen lane order as the exact tier — so against the
+// frozen-order reference on the widened values they are EXACT; the only
+// precision loss in the Float32Design pipeline is the one rounding of each
+// stored cell, which happens before the kernel runs.
+func TestFloat32KernelsMatchWidenedReference(t *testing.T) {
+	state := uint64(0x32_32_32_32)
+	for n := 1; n <= refMaxLen; n++ {
+		w := refValues(n, &state)
+		x32 := narrow32(refValues(n, &state))
+		xw := widen32(x32)
+		if got, want := Dot32(w, x32), refDot(w, xw); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dot32 = %v, frozen-order ref on widened = %v", n, got, want)
+		}
+		for skip := 0; skip < n; skip++ {
+			gw, gx := gatherRef(w, skip), gatherRef(xw, skip)
+			if got, want := DotSkip32(w, x32, skip), refDot(gw, gx); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d skip=%d: DotSkip32 = %v, ref = %v", n, skip, got, want)
+			}
+			if got, want := SqNormSkip32(x32, skip), refDot(gx, gx); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d skip=%d: SqNormSkip32 = %v, ref = %v", n, skip, got, want)
+			}
+			got := append([]float64(nil), w...)
+			want := append([]float64(nil), w...)
+			AxpySkip32(0.375, x32, got, skip)
+			for i := range want {
+				if i != skip {
+					want[i] += 0.375 * xw[i]
+				}
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d skip=%d elem %d: AxpySkip32 = %v, naive = %v", n, skip, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFloat32KernelSpecialValues(t *testing.T) {
+	x := []float32{1, float32(math.NaN()), 3, 4}
+	w := []float64{1, 1, 1, 1}
+	if got := Dot32(w, x); !math.IsNaN(got) {
+		t.Errorf("Dot32 with NaN cell = %v, want NaN", got)
+	}
+	if got := DotSkip32(w, x, 1); got != 8 {
+		t.Errorf("DotSkip32 skipping the NaN cell = %v, want 8", got)
+	}
+	negZero := []float32{float32(math.Copysign(0, -1)), 1, 2, 3, 4}
+	if got := SqNormSkip32(negZero, 4); got != 1+4+9 {
+		t.Errorf("SqNormSkip32 with -0 cell = %v, want 14", got)
+	}
+}

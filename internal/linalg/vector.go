@@ -1,8 +1,26 @@
 // Package linalg provides the dense linear-algebra kernels the FRaC
 // reproduction is built on: float64 vectors and row-major matrices with the
 // handful of BLAS-level operations the learners and the JL transform need.
-// Hot loops are written so the compiler can eliminate bounds checks, and the
-// matrix product is parallelized across rows.
+//
+// The kernels are split into two tiers (DESIGN.md §12):
+//
+//   - The *exact-order tier* — Dot, Axpy, DotSkip, AxpySkip, SqNormSkip —
+//     uses a frozen 4-wide unrolled accumulation order shared between the
+//     dense and skip variants: lane assignment follows the LOGICAL (post-
+//     gather) element index, so DotSkip(x, y, skip) stays bit-identical to
+//     Dot on the gathered vectors. Masked SVR training depends on this
+//     bit-identity (TestMaskedTrainingBitIdentical), so the order here is a
+//     contract, not an implementation detail.
+//
+//   - The *fast reassociated tier* — DotFast, SqDist — is free to pick
+//     whatever accumulation order is fastest and may change between
+//     releases. Only call sites pinned by tolerance tests (matrix products,
+//     kernel distances, LOF, the JL transform) may use it.
+//
+// Hot loops are written so the compiler can eliminate bounds checks
+// (explicit `y = y[:n]` reslices), panics are hoisted into //go:noinline
+// helpers so the wrappers stay inlinable, and the matrix product is
+// parallelized across rows.
 package linalg
 
 import (
@@ -10,91 +28,220 @@ import (
 	"math"
 )
 
+//go:noinline
+func panicLenMismatch(op string, a, b int) {
+	panic(fmt.Sprintf("linalg: %s length mismatch %d vs %d", op, a, b))
+}
+
+//go:noinline
+func panicBadSkip(op string, skip, n int) {
+	panic(fmt.Sprintf("linalg: %s column %d out of [0,%d)", op, skip, n))
+}
+
 // Dot returns the inner product of x and y. It panics if the lengths differ.
+//
+// Frozen accumulation order (exact tier): four independent lanes s0..s3 take
+// elements 4k, 4k+1, 4k+2, 4k+3 of the first n-n%4 elements; the lanes
+// combine as (s0+s1)+(s2+s3); the tail (< 4 elements) is then added
+// sequentially in ascending index order. DotSkip reproduces this order over
+// logical (gathered) indices, which is what makes masked training
+// bit-identical to gather-then-train.
 func Dot(x, y []float64) float64 {
+	return dot4(x, y)
+}
+
+// dot4 is the outlined kernel behind Dot; validation lives here so the
+// exported wrapper stays a single call and inlines.
+func dot4(x, y []float64) float64 {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(x), len(y)))
+		panicLenMismatch("Dot", len(x), len(y))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		s0 += x[j] * y[j]
+		s1 += x[j+1] * y[j+1]
+		s2 += x[j+2] * y[j+2]
+		s3 += x[j+3] * y[j+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for j := g; j < n; j++ {
+		s += x[j] * y[j]
 	}
 	return s
 }
 
 // DotSkip returns the inner product of x and y over every index except
-// skip, accumulating in ascending index order. The exact-FP-order contract:
-// the result is bit-identical to gathering the non-skip elements of both
-// vectors into dense buffers and calling Dot, because the partial-sum chain
-// visits the same values in the same order (DESIGN.md §10). skip must be in
+// skip. The exact-FP-order contract: the result is bit-identical to
+// gathering the non-skip elements of both vectors into dense buffers and
+// calling Dot, because lanes are assigned by logical (gathered) index and
+// combined in Dot's frozen order (DESIGN.md §12). skip must be in
 // [0, len(x)); the kernels panic otherwise so a masked-training bug cannot
 // silently fall back to a full product.
 func DotSkip(x, y []float64, skip int) float64 {
+	return dotSkip4(x, y, skip)
+}
+
+// dotSkip4 walks the n-1 logical elements in three segments — full 4-groups
+// below skip (physical == logical), at most one group straddling skip, full
+// 4-groups above skip (physical == logical+1) — so each lane sees exactly
+// the elements Dot's lanes would see on the gathered vectors.
+func dotSkip4(x, y []float64, skip int) float64 {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: DotSkip length mismatch %d vs %d", len(x), len(y)))
+		panicLenMismatch("DotSkip", len(x), len(y))
 	}
 	if skip < 0 || skip >= len(x) {
-		panic(fmt.Sprintf("linalg: DotSkip column %d out of [0,%d)", skip, len(x)))
+		panicBadSkip("DotSkip", skip, len(x))
 	}
-	var s float64
-	for i, v := range x[:skip] {
-		s += v * y[i]
+	n := len(x)
+	y = y[:n]
+	m := n - 1  // logical (gathered) length
+	g := m &^ 3 // unrolled-group end over logical indices
+	var s0, s1, s2, s3 float64
+	j := 0
+	// Segment 1: groups entirely below the skip column; physical == logical.
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		s0 += x[j] * y[j]
+		s1 += x[j+1] * y[j+1]
+		s2 += x[j+2] * y[j+2]
+		s3 += x[j+3] * y[j+3]
 	}
-	for i := skip + 1; i < len(x); i++ {
-		s += x[i] * y[i]
+	// Segment 2: at most one group straddling the skip column.
+	if j+4 <= g && j < skip {
+		p0, p1, p2, p3 := skipIdx(j, skip), skipIdx(j+1, skip), skipIdx(j+2, skip), skipIdx(j+3, skip)
+		s0 += x[p0] * y[p0]
+		s1 += x[p1] * y[p1]
+		s2 += x[p2] * y[p2]
+		s3 += x[p3] * y[p3]
+		j += 4
+	}
+	// Segment 3: groups entirely above the skip column; physical == logical+1.
+	for ; j+4 <= g; j += 4 {
+		s0 += x[j+1] * y[j+1]
+		s1 += x[j+2] * y[j+2]
+		s2 += x[j+3] * y[j+3]
+		s3 += x[j+4] * y[j+4]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		p := skipIdx(j, skip)
+		s += x[p] * y[p]
 	}
 	return s
+}
+
+// skipIdx maps a logical (gathered) index to its physical index.
+func skipIdx(j, skip int) int {
+	if j < skip {
+		return j
+	}
+	return j + 1
 }
 
 // AxpySkip computes y[i] += a*x[i] for every index except skip, leaving
 // y[skip] untouched. Element updates are independent, so this is bit-
-// identical to gather-then-Axpy on the non-skip positions.
+// identical to gather-then-Axpy on the non-skip positions regardless of
+// unrolling; the kernel runs as two dense unrolled segments around skip.
 func AxpySkip(a float64, x, y []float64, skip int) {
+	axpySkip4(a, x, y, skip)
+}
+
+func axpySkip4(a float64, x, y []float64, skip int) {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: AxpySkip length mismatch %d vs %d", len(x), len(y)))
+		panicLenMismatch("AxpySkip", len(x), len(y))
 	}
 	if skip < 0 || skip >= len(x) {
-		panic(fmt.Sprintf("linalg: AxpySkip column %d out of [0,%d)", skip, len(x)))
+		panicBadSkip("AxpySkip", skip, len(x))
 	}
 	if a == 0 {
 		return
 	}
-	for i, v := range x[:skip] {
-		y[i] += a * v
-	}
-	for i := skip + 1; i < len(x); i++ {
-		y[i] += a * x[i]
-	}
+	axpy4(a, x[:skip], y[:skip])
+	axpy4(a, x[skip+1:], y[skip+1:])
 }
 
 // SqNormSkip returns the squared Euclidean norm of x over every index except
-// skip, with the same ascending-order partial-sum chain as DotSkip(x, x,
-// skip) — bit-identical to gathering then Dot(v, v).
+// skip, with the same frozen lane order as DotSkip(x, x, skip) —
+// bit-identical to gathering then Dot(v, v).
 func SqNormSkip(x []float64, skip int) float64 {
+	return sqNormSkip4(x, skip)
+}
+
+func sqNormSkip4(x []float64, skip int) float64 {
 	if skip < 0 || skip >= len(x) {
-		panic(fmt.Sprintf("linalg: SqNormSkip column %d out of [0,%d)", skip, len(x)))
+		panicBadSkip("SqNormSkip", skip, len(x))
 	}
-	var s float64
-	for _, v := range x[:skip] {
-		s += v * v
+	m := len(x) - 1
+	g := m &^ 3
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		s0 += x[j] * x[j]
+		s1 += x[j+1] * x[j+1]
+		s2 += x[j+2] * x[j+2]
+		s3 += x[j+3] * x[j+3]
 	}
-	for i := skip + 1; i < len(x); i++ {
-		v := x[i]
+	if j+4 <= g && j < skip {
+		v0, v1, v2, v3 := x[skipIdx(j, skip)], x[skipIdx(j+1, skip)], x[skipIdx(j+2, skip)], x[skipIdx(j+3, skip)]
+		s0 += v0 * v0
+		s1 += v1 * v1
+		s2 += v2 * v2
+		s3 += v3 * v3
+		j += 4
+	}
+	for ; j+4 <= g; j += 4 {
+		s0 += x[j+1] * x[j+1]
+		s1 += x[j+2] * x[j+2]
+		s2 += x[j+3] * x[j+3]
+		s3 += x[j+4] * x[j+4]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		v := x[skipIdx(j, skip)]
 		s += v * v
 	}
 	return s
 }
 
-// Axpy computes y += a*x in place. It panics if the lengths differ.
+// Axpy computes y += a*x in place. It panics if the lengths differ. Element
+// updates are independent, so the unrolled kernel is bit-identical to the
+// one-element loop.
 func Axpy(a float64, x, y []float64) {
+	axpyChecked(a, x, y)
+}
+
+func axpyChecked(a float64, x, y []float64) {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+		panicLenMismatch("Axpy", len(x), len(y))
 	}
 	if a == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += a * v
+	axpy4(a, x, y)
+}
+
+// axpy4 is the raw unrolled kernel behind Axpy and the AxpySkip segments;
+// x and y must have equal length.
+func axpy4(a float64, x, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		y[j] += a * x[j]
+		y[j+1] += a * x[j+1]
+		y[j+2] += a * x[j+2]
+		y[j+3] += a * x[j+3]
+	}
+	for j := g; j < n; j++ {
+		y[j] += a * x[j]
 	}
 }
 
@@ -127,13 +274,39 @@ func Norm2(x []float64) float64 {
 }
 
 // SqDist returns the squared Euclidean distance between x and y.
+//
+// Fast tier: the accumulation order is reassociated (4 independent lanes)
+// and not part of any bit-identity contract — every call site (KDE/LOF
+// distances, RBF kernels, the JL transform) is pinned by tolerance tests
+// only.
 func SqDist(x, y []float64) float64 {
+	return sqDist4(x, y)
+}
+
+func sqDist4(x, y []float64) float64 {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: SqDist length mismatch %d vs %d", len(x), len(y)))
+		panicLenMismatch("SqDist", len(x), len(y))
 	}
-	var s float64
-	for i, v := range x {
-		d := v - y[i]
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		d0 := x[j] - y[j]
+		d1 := x[j+1] - y[j+1]
+		d2 := x[j+2] - y[j+2]
+		d3 := x[j+3] - y[j+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for j := g; j < n; j++ {
+		d := x[j] - y[j]
 		s += d * d
 	}
 	return s

@@ -1,0 +1,191 @@
+package linalg
+
+// Float32 kernel tier (DESIGN.md §12): mixed-precision operations over
+// float32 storage with float64 accumulation, used by the opt-in
+// Config.Float32Design path. The design matrix is stored as float32 for ~2×
+// memory bandwidth, but every product and partial sum is computed in
+// float64 and model weights stay float64, so the only precision loss is the
+// one rounding of each stored cell. There is NO bit-identity contract on
+// this tier — the float32 path is pinned by tolerance goldens only — but
+// the kernels mirror the exact tier's 4-wide logical-lane structure so the
+// dense and skip variants agree with each other and with the same schedule
+// the float64 path runs.
+
+// Dot32 returns Σ w[i]·x[i] with x read as float64, over the 4-wide lane
+// order of Dot.
+func Dot32(w []float64, x []float32) float64 {
+	return dot32(w, x)
+}
+
+func dot32(w []float64, x []float32) float64 {
+	if len(w) != len(x) {
+		panicLenMismatch("Dot32", len(w), len(x))
+	}
+	n := len(w)
+	if n == 0 {
+		return 0
+	}
+	x = x[:n]
+	var s0, s1, s2, s3 float64
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		s0 += w[j] * float64(x[j])
+		s1 += w[j+1] * float64(x[j+1])
+		s2 += w[j+2] * float64(x[j+2])
+		s3 += w[j+3] * float64(x[j+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for j := g; j < n; j++ {
+		s += w[j] * float64(x[j])
+	}
+	return s
+}
+
+// Axpy32 computes w[i] += a·x[i] with x read as float64. It panics if the
+// lengths differ.
+func Axpy32(a float64, x []float32, w []float64) {
+	axpy32Checked(a, x, w)
+}
+
+func axpy32Checked(a float64, x []float32, w []float64) {
+	if len(x) != len(w) {
+		panicLenMismatch("Axpy32", len(x), len(w))
+	}
+	if a == 0 {
+		return
+	}
+	axpy32(a, x, w)
+}
+
+func axpy32(a float64, x []float32, w []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	w = w[:n]
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		w[j] += a * float64(x[j])
+		w[j+1] += a * float64(x[j+1])
+		w[j+2] += a * float64(x[j+2])
+		w[j+3] += a * float64(x[j+3])
+	}
+	for j := g; j < n; j++ {
+		w[j] += a * float64(x[j])
+	}
+}
+
+// DotSkip32 returns Σ w[p]·x[p] over every index except skip, with the same
+// three-segment logical-lane structure as DotSkip, so it equals Dot32 on
+// the gathered vectors.
+func DotSkip32(w []float64, x []float32, skip int) float64 {
+	return dotSkip32(w, x, skip)
+}
+
+func dotSkip32(w []float64, x []float32, skip int) float64 {
+	if len(w) != len(x) {
+		panicLenMismatch("DotSkip32", len(w), len(x))
+	}
+	if skip < 0 || skip >= len(x) {
+		panicBadSkip("DotSkip32", skip, len(x))
+	}
+	n := len(x)
+	w = w[:n]
+	m := n - 1  // logical (gathered) length
+	g := m &^ 3 // unrolled-group end over logical indices
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		s0 += w[j] * float64(x[j])
+		s1 += w[j+1] * float64(x[j+1])
+		s2 += w[j+2] * float64(x[j+2])
+		s3 += w[j+3] * float64(x[j+3])
+	}
+	if j+4 <= g && j < skip {
+		p0, p1, p2, p3 := skipIdx(j, skip), skipIdx(j+1, skip), skipIdx(j+2, skip), skipIdx(j+3, skip)
+		s0 += w[p0] * float64(x[p0])
+		s1 += w[p1] * float64(x[p1])
+		s2 += w[p2] * float64(x[p2])
+		s3 += w[p3] * float64(x[p3])
+		j += 4
+	}
+	for ; j+4 <= g; j += 4 {
+		s0 += w[j+1] * float64(x[j+1])
+		s1 += w[j+2] * float64(x[j+2])
+		s2 += w[j+3] * float64(x[j+3])
+		s3 += w[j+4] * float64(x[j+4])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		p := skipIdx(j, skip)
+		s += w[p] * float64(x[p])
+	}
+	return s
+}
+
+// AxpySkip32 computes w[p] += a·x[p] for every index except skip, leaving
+// w[skip] untouched, as two dense unrolled segments.
+func AxpySkip32(a float64, x []float32, w []float64, skip int) {
+	axpySkip32(a, x, w, skip)
+}
+
+func axpySkip32(a float64, x []float32, w []float64, skip int) {
+	if len(x) != len(w) {
+		panicLenMismatch("AxpySkip32", len(x), len(w))
+	}
+	if skip < 0 || skip >= len(x) {
+		panicBadSkip("AxpySkip32", skip, len(x))
+	}
+	if a == 0 {
+		return
+	}
+	axpy32(a, x[:skip], w[:skip])
+	axpy32(a, x[skip+1:], w[skip+1:])
+}
+
+// SqNormSkip32 returns Σ x[p]² (float64 accumulation) over every index
+// except skip, with DotSkip32's lane structure.
+func SqNormSkip32(x []float32, skip int) float64 {
+	return sqNormSkip32(x, skip)
+}
+
+func sqNormSkip32(x []float32, skip int) float64 {
+	if skip < 0 || skip >= len(x) {
+		panicBadSkip("SqNormSkip32", skip, len(x))
+	}
+	m := len(x) - 1
+	g := m &^ 3
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		v0, v1, v2, v3 := float64(x[j]), float64(x[j+1]), float64(x[j+2]), float64(x[j+3])
+		s0 += v0 * v0
+		s1 += v1 * v1
+		s2 += v2 * v2
+		s3 += v3 * v3
+	}
+	if j+4 <= g && j < skip {
+		v0 := float64(x[skipIdx(j, skip)])
+		v1 := float64(x[skipIdx(j+1, skip)])
+		v2 := float64(x[skipIdx(j+2, skip)])
+		v3 := float64(x[skipIdx(j+3, skip)])
+		s0 += v0 * v0
+		s1 += v1 * v1
+		s2 += v2 * v2
+		s3 += v3 * v3
+		j += 4
+	}
+	for ; j+4 <= g; j += 4 {
+		v0, v1, v2, v3 := float64(x[j+1]), float64(x[j+2]), float64(x[j+3]), float64(x[j+4])
+		s0 += v0 * v0
+		s1 += v1 * v1
+		s2 += v2 * v2
+		s3 += v3 * v3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		v := float64(x[skipIdx(j, skip)])
+		s += v * v
+	}
+	return s
+}

@@ -20,7 +20,7 @@ type Kernel interface {
 type LinearKernel struct{}
 
 // Eval implements Kernel.
-func (LinearKernel) Eval(x, y []float64) float64 { return linalg.Dot(x, y) }
+func (LinearKernel) Eval(x, y []float64) float64 { return linalg.DotFast(x, y) }
 
 // Name implements Kernel.
 func (LinearKernel) Name() string { return "linear" }

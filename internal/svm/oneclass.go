@@ -76,7 +76,7 @@ func TrainOneClass(x *linalg.Matrix, params OneClassParams) *OneClassSVM {
 	// grad = Qα
 	grad := make([]float64, n)
 	for i := 0; i < n; i++ {
-		grad[i] = linalg.Dot(q.Row(i), alpha)
+		grad[i] = linalg.DotFast(q.Row(i), alpha) // fast tier: SMO tolerance-governed
 	}
 
 	for iter := 0; iter < p.MaxIter; iter++ {

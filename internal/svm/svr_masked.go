@@ -100,43 +100,127 @@ func stdCell(v, mean, scale float64) float64 {
 	return (v - mean) * scale
 }
 
+// skipIdx maps a logical (gathered) index to its physical column.
+func skipIdx(j, skip int) int {
+	if j < skip {
+		return j
+	}
+	return j + 1
+}
+
 // dotSkipStd is DotSkip over the lazily standardized row. The per-element
 // product is w[c] * ((v-mean)*scale) — the same grouping the gathered path
-// produces by standardizing the cell first — and the partial-sum chain runs
-// in ascending column order, so the result is bit-identical.
+// produces by standardizing the cell first — and the lanes follow
+// linalg.Dot's frozen 4-wide order over logical (gathered) indices
+// (DESIGN.md §12), so the result is bit-identical to standardizing the
+// gathered row and calling Dot.
 func dotSkipStd(w, x, means, scales []float64, skip int) float64 {
-	var s float64
-	for c, v := range x[:skip] {
-		s += w[c] * stdCell(v, means[c], scales[c])
+	m := len(x) - 1 // logical (gathered) length
+	g := m &^ 3
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		s0 += w[j] * stdCell(x[j], means[j], scales[j])
+		s1 += w[j+1] * stdCell(x[j+1], means[j+1], scales[j+1])
+		s2 += w[j+2] * stdCell(x[j+2], means[j+2], scales[j+2])
+		s3 += w[j+3] * stdCell(x[j+3], means[j+3], scales[j+3])
 	}
-	for c := skip + 1; c < len(x); c++ {
-		s += w[c] * stdCell(x[c], means[c], scales[c])
+	if j+4 <= g && j < skip {
+		p0, p1, p2, p3 := skipIdx(j, skip), skipIdx(j+1, skip), skipIdx(j+2, skip), skipIdx(j+3, skip)
+		s0 += w[p0] * stdCell(x[p0], means[p0], scales[p0])
+		s1 += w[p1] * stdCell(x[p1], means[p1], scales[p1])
+		s2 += w[p2] * stdCell(x[p2], means[p2], scales[p2])
+		s3 += w[p3] * stdCell(x[p3], means[p3], scales[p3])
+		j += 4
+	}
+	for ; j+4 <= g; j += 4 {
+		s0 += w[j+1] * stdCell(x[j+1], means[j+1], scales[j+1])
+		s1 += w[j+2] * stdCell(x[j+2], means[j+2], scales[j+2])
+		s2 += w[j+3] * stdCell(x[j+3], means[j+3], scales[j+3])
+		s3 += w[j+4] * stdCell(x[j+4], means[j+4], scales[j+4])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		p := skipIdx(j, skip)
+		s += w[p] * stdCell(x[p], means[p], scales[p])
 	}
 	return s
 }
 
 func sqNormSkipStd(x, means, scales []float64, skip int) float64 {
-	var s float64
-	for c, v := range x[:skip] {
-		z := stdCell(v, means[c], scales[c])
-		s += z * z
+	m := len(x) - 1
+	g := m &^ 3
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= g && j+4 <= skip; j += 4 {
+		z0 := stdCell(x[j], means[j], scales[j])
+		z1 := stdCell(x[j+1], means[j+1], scales[j+1])
+		z2 := stdCell(x[j+2], means[j+2], scales[j+2])
+		z3 := stdCell(x[j+3], means[j+3], scales[j+3])
+		s0 += z0 * z0
+		s1 += z1 * z1
+		s2 += z2 * z2
+		s3 += z3 * z3
 	}
-	for c := skip + 1; c < len(x); c++ {
-		z := stdCell(x[c], means[c], scales[c])
+	if j+4 <= g && j < skip {
+		p0, p1, p2, p3 := skipIdx(j, skip), skipIdx(j+1, skip), skipIdx(j+2, skip), skipIdx(j+3, skip)
+		z0 := stdCell(x[p0], means[p0], scales[p0])
+		z1 := stdCell(x[p1], means[p1], scales[p1])
+		z2 := stdCell(x[p2], means[p2], scales[p2])
+		z3 := stdCell(x[p3], means[p3], scales[p3])
+		s0 += z0 * z0
+		s1 += z1 * z1
+		s2 += z2 * z2
+		s3 += z3 * z3
+		j += 4
+	}
+	for ; j+4 <= g; j += 4 {
+		z0 := stdCell(x[j+1], means[j+1], scales[j+1])
+		z1 := stdCell(x[j+2], means[j+2], scales[j+2])
+		z2 := stdCell(x[j+3], means[j+3], scales[j+3])
+		z3 := stdCell(x[j+4], means[j+4], scales[j+4])
+		s0 += z0 * z0
+		s1 += z1 * z1
+		s2 += z2 * z2
+		s3 += z3 * z3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; j < m; j++ {
+		p := skipIdx(j, skip)
+		z := stdCell(x[p], means[p], scales[p])
 		s += z * z
 	}
 	return s
 }
 
+// axpySkipStd updates w on the non-masked columns. Element updates are
+// independent, so the two dense unrolled segments stay bit-identical to the
+// gathered Axpy regardless of unrolling.
 func axpySkipStd(a float64, x, means, scales, w []float64, skip int) {
 	if a == 0 {
 		return
 	}
-	for c, v := range x[:skip] {
-		w[c] += a * stdCell(v, means[c], scales[c])
+	axpyStdSeg(a, x[:skip], means[:skip], scales[:skip], w[:skip])
+	axpyStdSeg(a, x[skip+1:], means[skip+1:], scales[skip+1:], w[skip+1:])
+}
+
+func axpyStdSeg(a float64, x, means, scales, w []float64) {
+	n := len(x)
+	if n == 0 {
+		return
 	}
-	for c := skip + 1; c < len(x); c++ {
-		w[c] += a * stdCell(x[c], means[c], scales[c])
+	means = means[:n]
+	scales = scales[:n]
+	w = w[:n]
+	g := n &^ 3
+	for j := 0; j < g; j += 4 {
+		w[j] += a * stdCell(x[j], means[j], scales[j])
+		w[j+1] += a * stdCell(x[j+1], means[j+1], scales[j+1])
+		w[j+2] += a * stdCell(x[j+2], means[j+2], scales[j+2])
+		w[j+3] += a * stdCell(x[j+3], means[j+3], scales[j+3])
+	}
+	for j := g; j < n; j++ {
+		w[j] += a * stdCell(x[j], means[j], scales[j])
 	}
 }
 

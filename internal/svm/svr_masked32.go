@@ -1,0 +1,128 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+// Float32 masked SVR training (Config.Float32Design): the dual-CD loop of
+// TrainSVRMasked run against a float32 design matrix for ~2× memory
+// bandwidth. Storage is float32, but every inner product, gradient, and
+// weight stays float64 (the mixed-precision kernels of linalg/vector32.go),
+// so the only precision loss is the single rounding of each stored cell.
+// Unlike TrainSVRMasked there is NO bit-identity contract against the
+// gather path — the float32 pipeline is validated by tolerance goldens
+// (documented epsilon in core's golden tests).
+
+// MaskedView32 is a read-only column-masked view of a float32 design
+// matrix. The matrix must already be imputed and standardized — the float32
+// path has no lazy-standardizing flavor; cross-validation folds materialize
+// standardized float32 fold matrices instead.
+type MaskedView32 struct {
+	X *linalg.Matrix32
+	// Skip is the masked (target) column, excluded from every product.
+	Skip int
+}
+
+// TrainSVRMasked32 fits the same L2-regularized L2-loss epsilon-SVR as
+// TrainSVRMasked against a float32 design matrix, with float64 accumulation
+// and float64 weights. The returned weight vector is full width
+// (len = view.X.Cols) with W[view.Skip] == 0; predictions go through
+// PredictSkip32 (float32 rows) or PredictSkipStd (raw float64 rows).
+//
+// ws may be nil (buffers are then freshly allocated, and the returned W is
+// safe to retain).
+func TrainSVRMasked32(view MaskedView32, y []float64, params SVRParams, ws *SVRWorkspace) *SVR {
+	p := params.withDefaults()
+	n, d := view.X.Rows, view.X.Cols
+	if len(y) != n {
+		panic(fmt.Sprintf("svm: TrainSVRMasked32 %d samples but %d targets", n, len(y)))
+	}
+	if view.Skip < 0 || view.Skip >= d {
+		panic(fmt.Sprintf("svm: TrainSVRMasked32 skip column %d out of [0,%d)", view.Skip, d))
+	}
+	if ws == nil {
+		ws = &SVRWorkspace{}
+	}
+	ws.ensure(n, d)
+	w := ws.W
+	var b float64
+	if n == 0 {
+		return &SVR{W: w}
+	}
+	lambda := 0.5 / p.C
+	beta := ws.beta
+	qd := ws.qd
+	for i := 0; i < n; i++ {
+		qd[i] = linalg.SqNormSkip32(view.X.Row(i), view.Skip) + lambda
+		if p.Bias {
+			qd[i]++
+		}
+	}
+	order := ws.order
+	for i := range order {
+		order[i] = i
+	}
+	src := rng.New(p.Seed ^ 0x5f3759df)
+	iters := 0
+	for iter := 0; iter < p.MaxIter; iter++ {
+		iters = iter + 1
+		src.Shuffle(order)
+		maxViolation := 0.0
+		for _, i := range order {
+			row := view.X.Row(i)
+			g := linalg.DotSkip32(w, row, view.Skip) + b*boolTo1(p.Bias) - y[i] + lambda*beta[i]
+			gp := g + p.Epsilon
+			gn := g - p.Epsilon
+
+			violation := 0.0
+			switch {
+			case beta[i] == 0:
+				if gp < 0 {
+					violation = -gp
+				} else if gn > 0 {
+					violation = gn
+				}
+			case beta[i] > 0:
+				violation = math.Abs(gp)
+			default:
+				violation = math.Abs(gn)
+			}
+			if violation > maxViolation {
+				maxViolation = violation
+			}
+
+			var delta float64
+			h := qd[i]
+			switch {
+			case gp < h*beta[i]:
+				delta = -gp / h
+			case gn > h*beta[i]:
+				delta = -gn / h
+			default:
+				delta = -beta[i]
+			}
+			if math.Abs(delta) < 1e-14 {
+				continue
+			}
+			beta[i] += delta
+			linalg.AxpySkip32(delta, row, w, view.Skip)
+			if p.Bias {
+				b += delta
+			}
+		}
+		if maxViolation < p.Tol {
+			break
+		}
+	}
+	return &SVR{W: w, B: b, Iters: iters}
+}
+
+// PredictSkip32 evaluates wᵀx + b over every column except skip for a
+// full-width float32 row (already standardized), accumulating in float64.
+func (m *SVR) PredictSkip32(x []float32, skip int) float64 {
+	return linalg.DotSkip32(m.W, x, skip) + m.B
+}

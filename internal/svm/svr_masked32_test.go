@@ -1,0 +1,134 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/linalg"
+	"frac/internal/rng"
+)
+
+// float32 trainer tests. There is no bit-identity contract against the
+// float64 path — the contract is (a) structural: the float32 trainer run on
+// a float32 matrix equals the float64 trainer run on the WIDENED values bit
+// for bit (same CD schedule, same kernels modulo storage width), and (b)
+// numerical: against the float64 pipeline on the same data the weights
+// agree within a small tolerance driven by the single float32 rounding of
+// each design cell.
+
+// masked32Fixture builds a standardized random regression design and its
+// float32 copy.
+func masked32Fixture(n, d int, seed uint64) (*linalg.Matrix, *linalg.Matrix32, []float64) {
+	src := rng.New(seed)
+	x := linalg.NewMatrix(n, d)
+	w := make([]float64, d)
+	for j := range w {
+		w[j] = src.Normal(0, 1)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = src.Normal(0, 1)
+		}
+		y[i] = linalg.Dot(w, row) + src.Normal(0, 0.05)
+	}
+	x32 := linalg.NewMatrix32(n, d)
+	for i, v := range x.Data {
+		x32.Data[i] = float32(v)
+	}
+	return x, x32, y
+}
+
+// sameFullModel asserts two full-width masked models are bit-identical.
+func sameFullModel(t *testing.T, label string, a, b *SVR) {
+	t.Helper()
+	if a.Iters != b.Iters {
+		t.Errorf("%s: %d iterations vs %d", label, a.Iters, b.Iters)
+	}
+	if math.Float64bits(a.B) != math.Float64bits(b.B) {
+		t.Errorf("%s: B = %v vs %v", label, a.B, b.B)
+	}
+	for c := range a.W {
+		if math.Float64bits(a.W[c]) != math.Float64bits(b.W[c]) {
+			t.Errorf("%s: W[%d] = %v (bits %016x) vs %v (bits %016x)",
+				label, c, a.W[c], math.Float64bits(a.W[c]), b.W[c], math.Float64bits(b.W[c]))
+		}
+	}
+}
+
+// widened returns the float64 matrix holding exactly the float32 cells.
+func widened(x32 *linalg.Matrix32) *linalg.Matrix {
+	out := linalg.NewMatrix(x32.Rows, x32.Cols)
+	for i, v := range x32.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+func TestTrainSVRMasked32MatchesWidenedFloat64Trainer(t *testing.T) {
+	_, x32, y := masked32Fixture(40, 13, 99)
+	xw := widened(x32)
+	params := SVRParams{C: 1, Epsilon: 0.1, MaxIter: 60, Tol: 1e-4, Bias: true, Seed: 7}
+	for _, skip := range []int{0, 1, 5, 12} {
+		m32 := TrainSVRMasked32(MaskedView32{X: x32, Skip: skip}, y, params, nil)
+		m64 := TrainSVRMasked(MaskedView{X: xw, Skip: skip}, y, params, nil)
+		sameFullModel(t, "float32-vs-widened", m32, m64)
+		if m32.W[skip] != 0 {
+			t.Errorf("skip=%d: W[skip] = %v, want 0", skip, m32.W[skip])
+		}
+	}
+}
+
+func TestTrainSVRMasked32CloseToFloat64Pipeline(t *testing.T) {
+	x, x32, y := masked32Fixture(40, 13, 1234)
+	params := SVRParams{C: 1, Epsilon: 0.1, MaxIter: 60, Tol: 1e-4, Bias: true, Seed: 3}
+	skip := 4
+	m32 := TrainSVRMasked32(MaskedView32{X: x32, Skip: skip}, y, params, nil)
+	m64 := TrainSVRMasked(MaskedView{X: x, Skip: skip}, y, params, nil)
+	// Tolerance: float32 cell rounding is a ~1e-7 relative perturbation of
+	// the design; the CD solution moves by the same order. 1e-4 gives slack
+	// for conditioning without masking real bugs (a wrong column or sign is
+	// O(1)).
+	const tol = 1e-4
+	for c := range m64.W {
+		if d := math.Abs(m32.W[c] - m64.W[c]); d > tol {
+			t.Errorf("W[%d]: float32 path %v vs float64 %v (|Δ| = %g > %g)", c, m32.W[c], m64.W[c], d, tol)
+		}
+	}
+	if d := math.Abs(m32.B - m64.B); d > tol {
+		t.Errorf("B: float32 path %v vs float64 %v (|Δ| = %g)", m32.B, m64.B, d)
+	}
+}
+
+func TestPredictSkip32MatchesPredictSkipOnWidenedRow(t *testing.T) {
+	_, x32, y := masked32Fixture(30, 9, 55)
+	params := SVRParams{C: 1, Epsilon: 0.1, MaxIter: 40, Tol: 1e-4, Bias: true, Seed: 11}
+	skip := 2
+	m := TrainSVRMasked32(MaskedView32{X: x32, Skip: skip}, y, params, nil)
+	for i := 0; i < x32.Rows; i++ {
+		row32 := x32.Row(i)
+		roww := make([]float64, len(row32))
+		for j, v := range row32 {
+			roww[j] = float64(v)
+		}
+		got := m.PredictSkip32(row32, skip)
+		want := m.PredictSkip(roww, skip)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("row %d: PredictSkip32 = %v, PredictSkip on widened = %v", i, got, want)
+		}
+	}
+}
+
+func TestTrainSVRMasked32Workspace(t *testing.T) {
+	_, x32, y := masked32Fixture(25, 8, 77)
+	params := SVRParams{C: 1, Epsilon: 0.1, MaxIter: 40, Tol: 1e-4, Bias: true, Seed: 5}
+	var ws SVRWorkspace
+	fresh := TrainSVRMasked32(MaskedView32{X: x32, Skip: 3}, y, params, nil)
+	pooled := TrainSVRMasked32(MaskedView32{X: x32, Skip: 3}, y, params, &ws)
+	sameFullModel(t, "workspace-reuse", pooled, fresh)
+	// The workspace-backed W aliases ws.W.
+	if &pooled.W[0] != &ws.W[0] {
+		t.Error("workspace model W does not alias ws.W")
+	}
+}
