@@ -1,0 +1,336 @@
+// Command fracload is a closed-loop load generator for fracserve: N
+// concurrent clients each keep exactly one score request in flight against
+// POST /v1/score for a fixed duration, then the tool reports sustained QPS,
+// row throughput, and the full client-side latency tail (p50/p90/p99/p999).
+//
+//	fracload -addr http://127.0.0.1:8316 -duration 10s -concurrency 16
+//
+// Rows are synthesized from the served model's schema (fetched via
+// /v1/models): reals from a seeded normal generator, categoricals as labels
+// in [0, arity). Closed-loop means measured QPS is a sustained-throughput
+// floor — clients never pile up unbounded queues the way open-loop
+// generators do.
+//
+// -bench-out merges the results into BENCH_results.json as the "serve"
+// exhibit (other sections are preserved); -min-qps turns the run into a
+// pass/fail gate for CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type options struct {
+	addr        string
+	model       string
+	concurrency int
+	duration    time.Duration
+	warmup      time.Duration
+	rows        int
+	seed        int64
+	minQPS      float64
+	benchOut    string
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "http://127.0.0.1:8316", "fracserve base URL")
+	flag.StringVar(&opt.model, "model", "", "model to score (default: the single served model)")
+	flag.IntVar(&opt.concurrency, "concurrency", 16, "concurrent closed-loop clients")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "measured load duration")
+	flag.DurationVar(&opt.warmup, "warmup", time.Second, "warmup before measuring")
+	flag.IntVar(&opt.rows, "rows", 1, "rows per request")
+	flag.Int64Var(&opt.seed, "seed", 1, "row synthesis seed")
+	flag.Float64Var(&opt.minQPS, "min-qps", 0, "fail (exit 1) if sustained QPS falls below this")
+	flag.StringVar(&opt.benchOut, "bench-out", "", "merge results into this BENCH_results.json as the \"serve\" exhibit")
+	flag.Parse()
+
+	if err := run(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "fracload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// modelsDoc mirrors the /v1/models response shape (kept structurally
+// compatible with serve.ModelsResponse without importing server internals —
+// fracload exercises the wire contract like any external client).
+type modelsDoc struct {
+	Models []modelEntry `json:"models"`
+}
+
+type modelEntry struct {
+	Name      string         `json:"name"`
+	ModelHash string         `json:"model_hash"`
+	Terms     int            `json:"terms"`
+	Schema    []featureEntry `json:"schema"`
+}
+
+type featureEntry struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Arity int    `json:"arity"`
+}
+
+type scoreDoc struct {
+	ModelHash string    `json:"model_hash"`
+	Scores    []float64 `json:"scores"`
+}
+
+// result is the measured outcome (and the BENCH_results.json exhibit).
+type result struct {
+	Model          string  `json:"model"`
+	ModelHash      string  `json:"model_hash"`
+	Features       int     `json:"features"`
+	Terms          int     `json:"terms"`
+	Concurrency    int     `json:"concurrency"`
+	RowsPerRequest int     `json:"rows_per_request"`
+	DurationSecs   float64 `json:"duration_seconds"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	QPS            float64 `json:"qps"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	P999Ms         float64 `json:"p999_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+func run(opt options) error {
+	if opt.concurrency < 1 || opt.rows < 1 {
+		return errors.New("-concurrency and -rows must be at least 1")
+	}
+	base := strings.TrimRight(opt.addr, "/")
+	if !strings.Contains(base, "://") {
+		// Accept the bare host:port that fracserve's -addr flag takes.
+		base = "http://" + base
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.concurrency * 2,
+			MaxIdleConnsPerHost: opt.concurrency * 2,
+		},
+	}
+
+	// Discover the target model and its schema.
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		return err
+	}
+	var models modelsDoc
+	err = json.NewDecoder(resp.Body).Decode(&models)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding /v1/models: %w", err)
+	}
+	if len(models.Models) == 0 {
+		return errors.New("server has no models")
+	}
+	target := models.Models[0]
+	if opt.model != "" {
+		found := false
+		for _, m := range models.Models {
+			if m.Name == opt.model {
+				target, found = m, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("server does not serve model %q", opt.model)
+		}
+	}
+
+	// Pre-marshal a pool of request bodies so the hot loop measures the
+	// server, not the generator's JSON encoder.
+	bodies := synthBodies(target, opt)
+	fmt.Printf("fracload: target %s hash=%s features=%d terms=%d\n",
+		target.Name, target.ModelHash, len(target.Schema), target.Terms)
+	fmt.Printf("fracload: %d clients x %d rows/request for %v (after %v warmup)\n",
+		opt.concurrency, opt.rows, opt.duration, opt.warmup)
+
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		requests  atomic.Int64
+		errorsN   atomic.Int64
+		wg        sync.WaitGroup
+	)
+	lats := make([][]time.Duration, opt.concurrency)
+	url := base + "/v1/score"
+	for w := 0; w < opt.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := lats[w][:0]
+			i := w % len(bodies)
+			for !stop.Load() {
+				start := time.Now()
+				ok := oneRequest(client, url, bodies[i], opt.rows)
+				lat := time.Since(start)
+				i++
+				if i == len(bodies) {
+					i = 0
+				}
+				if !measuring.Load() {
+					continue
+				}
+				requests.Add(1)
+				if ok {
+					buf = append(buf, lat)
+				} else {
+					errorsN.Add(1)
+				}
+			}
+			lats[w] = buf
+		}(w)
+	}
+
+	time.Sleep(opt.warmup)
+	measuring.Store(true)
+	startT := time.Now()
+	time.Sleep(opt.duration)
+	elapsed := time.Since(startT)
+	stop.Store(true)
+	wg.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return errors.New("no successful requests (is fracserve up?)")
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	res := result{
+		Model:          target.Name,
+		ModelHash:      target.ModelHash,
+		Features:       len(target.Schema),
+		Terms:          target.Terms,
+		Concurrency:    opt.concurrency,
+		RowsPerRequest: opt.rows,
+		DurationSecs:   elapsed.Seconds(),
+		Requests:       requests.Load(),
+		Errors:         errorsN.Load(),
+		QPS:            float64(requests.Load()) / elapsed.Seconds(),
+		RowsPerSec:     float64(requests.Load()) * float64(opt.rows) / elapsed.Seconds(),
+		P50Ms:          ms(quantile(all, 0.50)),
+		P90Ms:          ms(quantile(all, 0.90)),
+		P99Ms:          ms(quantile(all, 0.99)),
+		P999Ms:         ms(quantile(all, 0.999)),
+		MaxMs:          ms(all[len(all)-1]),
+	}
+	fmt.Printf("fracload: %d requests in %.2fs (%d errors)\n", res.Requests, res.DurationSecs, res.Errors)
+	fmt.Printf("fracload: %.0f req/s, %.0f rows/s\n", res.QPS, res.RowsPerSec)
+	fmt.Printf("fracload: latency p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms max=%.3fms\n",
+		res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms, res.MaxMs)
+
+	if opt.benchOut != "" {
+		if err := mergeExhibit(opt.benchOut, res); err != nil {
+			return err
+		}
+		fmt.Printf("fracload: serve exhibit written to %s\n", opt.benchOut)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d requests failed", res.Errors)
+	}
+	if opt.minQPS > 0 && res.QPS < opt.minQPS {
+		return fmt.Errorf("sustained %.0f QPS is below the -min-qps %.0f floor", res.QPS, opt.minQPS)
+	}
+	return nil
+}
+
+// synthBodies pre-marshals a pool of score request bodies with
+// schema-conforming synthetic rows.
+func synthBodies(target modelEntry, opt options) [][]byte {
+	rng := rand.New(rand.NewSource(opt.seed))
+	const pool = 64
+	bodies := make([][]byte, pool)
+	for b := range bodies {
+		rows := make([][]float64, opt.rows)
+		for r := range rows {
+			row := make([]float64, len(target.Schema))
+			for j, f := range target.Schema {
+				if f.Kind == "categorical" {
+					row[j] = float64(rng.Intn(f.Arity))
+				} else {
+					row[j] = rng.NormFloat64()
+				}
+			}
+			rows[r] = row
+		}
+		blob, err := json.Marshal(map[string]any{"model": target.Name, "rows": rows})
+		if err != nil {
+			panic(err) // finite floats always marshal
+		}
+		bodies[b] = blob
+	}
+	return bodies
+}
+
+// oneRequest performs one scoring round trip and sanity-checks the response.
+func oneRequest(client *http.Client, url string, body []byte, rows int) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	var doc scoreDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return false
+	}
+	return len(doc.Scores) == rows && doc.ModelHash != ""
+}
+
+// quantile returns the q-quantile of sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// mergeExhibit writes res as the "serve" section of path, preserving every
+// other top-level section (go_bench baselines, linalg exhibits, ...).
+func mergeExhibit(path string, res result) error {
+	doc := map[string]json.RawMessage{}
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON object: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	doc["serve"] = blob
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -371,3 +371,14 @@ func SaveModel(w io.Writer, m *Model) error {
 func LoadModel(r io.Reader) (*Model, error) {
 	return core.ReadModel(r)
 }
+
+// ScoreWorkspace is the reusable scratch state of the online scoring path
+// (Model.ScoreRowsInto): a long-lived scorer — the fracserve daemon, or any
+// embedder pushing many small batches through a loaded model — keeps one
+// workspace per scoring worker and scores allocation-free in steady state.
+// Scores are bit-identical to Model.ScoreDataset at any batch partitioning.
+type ScoreWorkspace = core.ScoreWorkspace
+
+// NewScoreWorkspace returns an empty scoring workspace (buffers grow on
+// first use and are reused). Not safe for concurrent use — one per worker.
+func NewScoreWorkspace() *ScoreWorkspace { return core.NewScoreWorkspace() }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+)
+
+// Scoring runtime: the serving-side face of a trained model. Training
+// produces a *Model (an artifact that can be persisted and reloaded); a
+// long-lived scorer — the fracserve daemon, or any embedder — needs a way to
+// push small batches of raw rows through the model repeatedly without
+// allocating, without a *dataset.Dataset per call, and without the per-term
+// parallel fan-out of ScoreDataset (which is tuned for one huge batch, not
+// thousands of small ones per second). ScoreRowsInto is that path: it runs
+// the exact same per-term batch scoring code as ScoreDataset over a
+// caller-owned row matrix, accumulating totals in the same term order, so
+// its outputs are bit-identical to ScoreDataset().Totals() for any
+// partitioning of the rows into batches (per-row predictions never depend on
+// the other rows of the batch).
+
+// ScoreWorkspace is the reusable scratch state of ScoreRowsInto. One
+// workspace serves any number of models and batch shapes (buffers grow to
+// the high-water mark and are reused); it is NOT safe for concurrent use —
+// give each scoring worker its own.
+type ScoreWorkspace struct {
+	ws  scoreWorkspace
+	row []float64
+}
+
+// NewScoreWorkspace returns an empty workspace; buffers are allocated on
+// first use and reused after that.
+func NewScoreWorkspace() *ScoreWorkspace { return &ScoreWorkspace{} }
+
+// Schema returns the feature schema the model was trained under (the shape
+// every scored row must have). The returned slice is the model's own — do
+// not mutate it.
+func (m *Model) Schema() dataset.Schema { return m.schema }
+
+// ScoreRowsInto scores each row of rows (one sample per row, exactly one
+// cell per schema feature, missing values as dataset.Missing) and writes the
+// total normalized surprisal of row i into out[i]. len(out) must equal
+// rows.Rows. Steady-state it performs zero allocations once ws has grown to
+// the batch shape.
+//
+// The per-sample totals are bit-identical to
+// m.ScoreDataset(test).Totals() over the same rows, at any batch
+// partitioning: each term's contribution is computed by the identical batch
+// prediction path, and contributions accumulate in ascending term order
+// exactly as ScoreSet.Totals does.
+func (m *Model) ScoreRowsInto(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace) error {
+	if rows.Cols != len(m.schema) {
+		return fmt.Errorf("core: rows have %d features, model expects %d", rows.Cols, len(m.schema))
+	}
+	n := rows.Rows
+	if len(out) != n {
+		return fmt.Errorf("core: %d output slots for %d rows", len(out), n)
+	}
+	d := dataset.Dataset{Name: "rows", Schema: m.schema, X: rows}
+	for i := range out {
+		out[i] = 0
+	}
+	if cap(ws.row) < n {
+		ws.row = make([]float64, n)
+	}
+	row := ws.row[:n]
+	for ti := range m.terms {
+		m.scoreTermBatch(ti, &d, row, &ws.ws)
+		for s, v := range row {
+			out[s] += v
+		}
+	}
+	return nil
+}

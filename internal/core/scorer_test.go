@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"frac/internal/linalg"
+)
+
+// TestScoreRowsIntoBitIdentical pins the serving-path contract: pushing the
+// golden test rows through ScoreRowsInto — at any partitioning into batches —
+// must reproduce ScoreDataset().Totals() bit for bit, including rows with
+// missing values and out-of-schema categories.
+func TestScoreRowsIntoBitIdentical(t *testing.T) {
+	train, test := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := model.ScoreDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ss.Totals()
+
+	n, cols := test.NumSamples(), test.NumFeatures()
+	for _, batch := range []int{1, 2, n - 1, n} {
+		ws := NewScoreWorkspace()
+		got := make([]float64, n)
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			rows := linalg.NewMatrix(hi-lo, cols)
+			for i := lo; i < hi; i++ {
+				copy(rows.Row(i-lo), test.Sample(i))
+			}
+			if err := model.ScoreRowsInto(rows, got[lo:hi], ws); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("batch=%d sample %d: got %x (%v), want %x (%v)",
+					batch, i, math.Float64bits(got[i]), got[i],
+					math.Float64bits(want[i]), want[i])
+			}
+		}
+	}
+}
+
+// TestScoreRowsIntoValidates pins the error contract: wrong row width and
+// mismatched output length are rejected before any scoring.
+func TestScoreRowsIntoValidates(t *testing.T) {
+	train, _ := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewScoreWorkspace()
+	if err := model.ScoreRowsInto(linalg.NewMatrix(2, 3), make([]float64, 2), ws); err == nil {
+		t.Error("wrong width accepted")
+	}
+	if err := model.ScoreRowsInto(linalg.NewMatrix(2, train.NumFeatures()), make([]float64, 3), ws); err == nil {
+		t.Error("wrong output length accepted")
+	}
+}
+
+// TestScoreRowsIntoZeroAllocs guards the serving hot path: once the
+// workspace has grown to the batch shape, ScoreRowsInto must not allocate.
+func TestScoreRowsIntoZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	train, test := goldenTrainTest()
+	model, err := Train(train, FullTerms(train.NumFeatures()), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := linalg.NewMatrix(test.NumSamples(), test.NumFeatures())
+	for i := 0; i < test.NumSamples(); i++ {
+		copy(rows.Row(i), test.Sample(i))
+	}
+	out := make([]float64, rows.Rows)
+	ws := NewScoreWorkspace()
+	if err := model.ScoreRowsInto(rows, out, ws); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := model.ScoreRowsInto(rows, out, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ScoreRowsInto allocates %.1f per batch, want 0", allocs)
+	}
+}

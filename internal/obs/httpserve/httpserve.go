@@ -42,6 +42,10 @@ type Options struct {
 	// Stats) included in /progress as pool_live — useful when the pool exists
 	// but no recorder instrumentation is attached.
 	PoolStats func() (capacity, busy int)
+	// Extra, when non-nil, supplies additional metric families appended to
+	// the /metrics exposition after the recorder's (e.g. the serving daemon's
+	// frac_serve_* registry). Called once per scrape.
+	Extra func() []obs.MetricFamily
 }
 
 // Start listens on addr and serves the debug mux in the background. An empty
@@ -100,8 +104,12 @@ func Handler(opts Options) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		m := opts.Recorder.Snapshot()
 		m.Manifest = opts.Manifest
+		fams := m.Families()
+		if opts.Extra != nil {
+			fams = append(fams, opts.Extra()...)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := obs.WriteExposition(w, m.Families()); err != nil {
+		if err := obs.WriteExposition(w, fams); err != nil {
 			// Connection-level failure; nothing sensible left to send.
 			return
 		}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServeScore measures the serving hot path gated by benchguard: one
+// row submitted through the micro-batcher (pool → enqueue → flush → runtime
+// scoring → response). MaxWait is zero so the measurement is the per-request
+// floor, not a coalescing-timer artifact.
+func BenchmarkServeScore(b *testing.B) {
+	path := testModelFile(b, 42)
+	h, err := NewHandle("m", path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := NewBatcher(h, BatcherConfig{MaxBatch: 8, MaxWait: 0, Workers: 1})
+	defer q.Close()
+
+	rows := testProbeRows(1)
+	out := make([]float64, 1)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, rows, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Submit(ctx, rows, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeScoreBatch64 measures the coalesced path: a 64-row request
+// through the batcher, amortizing the flush overhead across the batch.
+func BenchmarkServeScoreBatch64(b *testing.B) {
+	path := testModelFile(b, 42)
+	h, err := NewHandle("m", path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := NewBatcher(h, BatcherConfig{MaxBatch: 64, MaxWait: 0, Workers: 1})
+	defer q.Close()
+
+	rows := testProbeRows(64)
+	out := make([]float64, 64)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, rows, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Submit(ctx, rows, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

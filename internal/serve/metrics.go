@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"frac/internal/obs"
+)
+
+// Serving metrics, exported through the -debug-addr Prometheus endpoint as
+// additional frac_serve_* families next to the recorder's run metrics
+// (httpserve.Options.Extra). Everything is lock-free atomics on the hot
+// path; the exposition rebuilds families per scrape, mirroring
+// obs.Metrics.Families.
+
+// Request endpoints, the label space of frac_serve_requests_total.
+type endpoint int
+
+const (
+	epScore endpoint = iota
+	epModels
+	epReload
+	epHealthz
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"score", "models", "reload", "healthz"}
+
+// Status-code classes, the second label of frac_serve_requests_total.
+const (
+	code2xx = iota
+	code4xx
+	code5xx
+	numCodeClasses
+)
+
+var codeClassNames = [numCodeClasses]string{"2xx", "4xx", "5xx"}
+
+func codeClass(status int) int {
+	switch {
+	case status >= 500:
+		return code5xx
+	case status >= 400:
+		return code4xx
+	default:
+		return code2xx
+	}
+}
+
+// numHistBuckets bounds the power-of-two histograms: bucket i counts values
+// with 2^(i-1) <= v < 2^i (same convention as the recorder's queue-wait
+// histogram), and 2^39 ns ≈ 9.2 min / 2^39 rows is beyond anything a request
+// or batch can reach.
+const numHistBuckets = 40
+
+// histo is a lock-free power-of-two histogram.
+type histo struct {
+	buckets [numHistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *histo) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= numHistBuckets {
+		i = numHistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// samples renders the cumulative _bucket/_sum/_count series; recorded values
+// are multiplied by scale for the exposition (1e-9 turns nanoseconds into
+// seconds, 1 keeps plain counts).
+func (h *histo) samples(scale float64) []obs.MetricSample {
+	hi := numHistBuckets
+	for hi > 0 && h.buckets[hi-1].Load() == 0 {
+		hi--
+	}
+	out := make([]obs.MetricSample, 0, hi+3)
+	var cum int64
+	for i := 0; i < hi; i++ {
+		cum += h.buckets[i].Load()
+		le := math.Pow(2, float64(i)) * scale
+		out = append(out, obs.MetricSample{
+			Suffix: "_bucket",
+			Labels: []obs.Label{{Name: "le", Value: formatMetric(le)}},
+			Value:  float64(cum),
+		})
+	}
+	count := h.count.Load()
+	out = append(out,
+		obs.MetricSample{Suffix: "_bucket", Labels: []obs.Label{{Name: "le", Value: "+Inf"}}, Value: float64(count)},
+		obs.MetricSample{Suffix: "_sum", Value: float64(h.sum.Load()) * scale},
+		obs.MetricSample{Suffix: "_count", Value: float64(count)},
+	)
+	return out
+}
+
+// Metrics is the serving-side metric registry. All observe methods are
+// nil-safe no-ops so instrumentation can be wired through unconditionally.
+type Metrics struct {
+	requests [numEndpoints][numCodeClasses]atomic.Int64
+	latency  [numEndpoints]histo // request wall time, ns
+
+	batchRows  histo // rows per flush (batch occupancy)
+	batchReqs  histo // coalesced requests per flush
+	flushes    [numFlushReasons]atomic.Int64
+	flushErrs  atomic.Int64
+	rowsScored atomic.Int64
+	queuePeak  atomic.Int64
+
+	// QueueDepth, when set, is the live pending-queue gauge hook.
+	QueueDepth func() int
+}
+
+// observeRequest records one completed HTTP request.
+func (m *Metrics) observeRequest(ep endpoint, status int, ns int64) {
+	if m == nil {
+		return
+	}
+	m.requests[ep][codeClass(status)].Add(1)
+	m.latency[ep].observe(ns)
+}
+
+// observeFlush records one batch flush.
+func (m *Metrics) observeFlush(reason, rows, reqs int, ok bool) {
+	if m == nil {
+		return
+	}
+	m.flushes[reason].Add(1)
+	m.batchRows.observe(int64(rows))
+	m.batchReqs.observe(int64(reqs))
+	if ok {
+		m.rowsScored.Add(int64(rows))
+	} else {
+		m.flushErrs.Add(1)
+	}
+}
+
+// observeQueueDepth tracks the pending-queue high-water mark.
+func (m *Metrics) observeQueueDepth(d int) {
+	if m == nil {
+		return
+	}
+	for {
+		peak := m.queuePeak.Load()
+		if int64(d) <= peak || m.queuePeak.CompareAndSwap(peak, int64(d)) {
+			return
+		}
+	}
+}
+
+// Families renders the frac_serve_* exposition families.
+func (m *Metrics) Families() []obs.MetricFamily {
+	if m == nil {
+		return nil
+	}
+	var fams []obs.MetricFamily
+	add := func(name, help string, typ obs.MetricType, samples ...obs.MetricSample) {
+		fams = append(fams, obs.MetricFamily{Name: name, Help: help, Type: typ, Samples: samples})
+	}
+
+	var reqSamples []obs.MetricSample
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		for c := 0; c < numCodeClasses; c++ {
+			if v := m.requests[ep][c].Load(); v > 0 {
+				reqSamples = append(reqSamples, obs.MetricSample{
+					Labels: []obs.Label{
+						{Name: "endpoint", Value: endpointNames[ep]},
+						{Name: "code", Value: codeClassNames[c]},
+					},
+					Value: float64(v),
+				})
+			}
+		}
+	}
+	add("frac_serve_requests_total",
+		"Completed HTTP requests by endpoint and status class.", obs.TypeCounter, reqSamples...)
+
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		if m.latency[ep].count.Load() == 0 {
+			continue
+		}
+		add(fmt.Sprintf("frac_serve_%s_seconds", endpointNames[ep]),
+			"Request wall-time distribution for /"+endpointNames[ep]+" (power-of-two buckets).",
+			obs.TypeHistogram, m.latency[ep].samples(1e-9)...)
+	}
+
+	add("frac_serve_batch_rows",
+		"Batch occupancy: rows per flush (power-of-two buckets).",
+		obs.TypeHistogram, m.batchRows.samples(1)...)
+	add("frac_serve_batch_requests",
+		"Coalesced requests per flush (power-of-two buckets).",
+		obs.TypeHistogram, m.batchReqs.samples(1)...)
+
+	var flushSamples []obs.MetricSample
+	for r := 0; r < numFlushReasons; r++ {
+		if v := m.flushes[r].Load(); v > 0 {
+			flushSamples = append(flushSamples, obs.MetricSample{
+				Labels: []obs.Label{{Name: "reason", Value: flushReasonNames[r]}},
+				Value:  float64(v),
+			})
+		}
+	}
+	add("frac_serve_flushes_total",
+		"Batch flushes by reason (full/timer/eager/drain).", obs.TypeCounter, flushSamples...)
+	add("frac_serve_flush_errors_total",
+		"Flushes whose scoring failed.", obs.TypeCounter,
+		obs.MetricSample{Value: float64(m.flushErrs.Load())})
+	add("frac_serve_rows_scored_total",
+		"Rows scored through the batcher.", obs.TypeCounter,
+		obs.MetricSample{Value: float64(m.rowsScored.Load())})
+	add("frac_serve_queue_depth_peak",
+		"Pending-queue high-water mark.", obs.TypeGauge,
+		obs.MetricSample{Value: float64(m.queuePeak.Load())})
+	if m.QueueDepth != nil {
+		add("frac_serve_queue_depth",
+			"Requests currently queued for batching.", obs.TypeGauge,
+			obs.MetricSample{Value: float64(m.QueueDepth())})
+	}
+	return fams
+}
+
+// formatMetric mirrors the exposition float rendering of internal/obs.
+func formatMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package serve
+
+func init() { raceDetectorEnabled = true }

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"frac/internal/core"
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+)
+
+// Shared fixtures for the serving tests: a deterministic mixed-schema
+// training set (reals with learnable structure, categoricals, missing
+// values — the same shape as the core golden fixture), probe rows that
+// exercise every scoring path, and persisted model files to load runtimes
+// from.
+
+// raceDetectorEnabled is set by race_enabled_test.go under -race (the
+// core-package idiom): allocation counts are meaningless with the race
+// detector's instrumentation.
+var raceDetectorEnabled bool
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("allocation counts are distorted by race-detector instrumentation")
+	}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to the given
+// ceiling, failing with a full stack dump if it does not within 3 seconds.
+func settleGoroutines(t *testing.T, ceiling int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= ceiling {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, ceiling %d\n%s", runtime.NumGoroutine(), ceiling, buf[:n])
+}
+
+func testSchema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "r0", Kind: dataset.Real},
+		{Name: "r1", Kind: dataset.Real},
+		{Name: "r2", Kind: dataset.Real},
+		{Name: "c0", Kind: dataset.Categorical, Arity: 3},
+		{Name: "c1", Kind: dataset.Categorical, Arity: 2},
+	}
+}
+
+// lcg is a hand-rolled generator so fixtures never depend on library RNG
+// evolution.
+type lcg uint64
+
+func (g *lcg) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*g)>>11) / float64(1<<53)
+}
+
+// testTrainSet builds the deterministic training fixture.
+func testTrainSet() *dataset.Dataset {
+	train := dataset.New("train", testSchema(), 24)
+	g := lcg(0x9e3779b97f4a7c15)
+	for i := 0; i < 24; i++ {
+		s := train.Sample(i)
+		s[0] = g.next()*4 - 2
+		s[1] = 2*s[0] + 0.05*(g.next()-0.5)
+		s[2] = math.Sin(s[0]) + 0.1*(g.next()-0.5)
+		s[3] = float64(i % 3)
+		s[4] = float64((i / 3) % 2)
+		if i%7 == 0 {
+			s[2] = dataset.Missing
+		}
+	}
+	return train
+}
+
+// testProbeRows builds n deterministic probe rows over the fixture schema,
+// including missing values and one relationship-violating row.
+func testProbeRows(n int) *linalg.Matrix {
+	rows := linalg.NewMatrix(n, len(testSchema()))
+	g := lcg(0x1234567)
+	for i := 0; i < n; i++ {
+		s := rows.Row(i)
+		s[0] = g.next()*4 - 2
+		s[1] = 2 * s[0]
+		s[2] = math.Sin(s[0])
+		s[3] = float64(i % 3)
+		s[4] = float64(i % 2)
+		switch i % 5 {
+		case 1:
+			s[1] = -5 // violates the r0→r1 relationship: a high scorer
+		case 2:
+			s[2] = dataset.Missing
+		case 3:
+			s[3] = dataset.Missing
+		}
+	}
+	return rows
+}
+
+// trainTestModel trains the fixture model with the given seed.
+func trainTestModel(t testing.TB, seed uint64) *core.Model {
+	t.Helper()
+	train := testTrainSet()
+	model, err := core.Train(train, core.FullTerms(train.NumFeatures()), core.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// writeModelFile persists a trained model to path.
+func writeModelFile(t testing.TB, model *core.Model, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.WriteTo(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testModelFile trains the fixture model and persists it under a temp dir.
+func testModelFile(t testing.TB, seed uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.frac")
+	writeModelFile(t, trainTestModel(t, seed), path)
+	return path
+}

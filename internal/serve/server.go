@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+	"frac/internal/obs"
+)
+
+// The HTTP/JSON API:
+//
+//	POST /v1/score   {"model":"name","rows":[[...]]} → {"model","model_hash","scores":[...]}
+//	GET  /v1/models  loaded models with identity + schema
+//	POST /v1/reload  hot-reload one model (?model=name) or all
+//	GET  /healthz    liveness probe
+//
+// Rows carry one JSON number per schema feature, with missing values as
+// null (JSON has no NaN). Every score response is stamped with the content
+// hash of the exact runtime that scored it, which is what the reload soak
+// test asserts on: a hash either matches a fully loaded model or the
+// response is torn.
+
+// ServerConfig parameterizes the API server.
+type ServerConfig struct {
+	// MaxRows bounds rows per score request; <= 0 selects 4096.
+	MaxRows int
+	// MaxBodyBytes bounds the request body; <= 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// Batcher configures the per-model micro-batching queue.
+	Batcher BatcherConfig
+	// Metrics, when non-nil, receives request accounting and is also wired
+	// into the batchers.
+	Metrics *Metrics
+	// Recorder, when non-nil, receives journal annotations for model
+	// load/reload events. Nil-safe (obs idiom).
+	Recorder *obs.Recorder
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxRows <= 0 {
+		c.MaxRows = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the scoring API over a set of model handles. It implements
+// http.Handler; attach it to any listener (fracserve uses http.Server,
+// tests use httptest).
+type Server struct {
+	cfg     ServerConfig
+	names   []string
+	handles map[string]*Handle
+	mux     *http.ServeMux
+}
+
+// NewServer attaches a micro-batcher to every handle and builds the API
+// handler. Handles must have unique names; with exactly one handle, score
+// requests may omit the model name.
+func NewServer(handles []*Handle, cfg ServerConfig) (*Server, error) {
+	if len(handles) == 0 {
+		return nil, errors.New("serve: no models to serve")
+	}
+	cfg = cfg.withDefaults()
+	cfg.Batcher.Metrics = cfg.Metrics
+	s := &Server{cfg: cfg, handles: make(map[string]*Handle, len(handles))}
+	for _, h := range handles {
+		if _, dup := s.handles[h.name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model name %q", h.name)
+		}
+		s.handles[h.name] = h
+		s.names = append(s.names, h.name)
+		h.batcher = NewBatcher(h, cfg.Batcher)
+		cfg.Recorder.Annotate("serve_load",
+			fmt.Sprintf("%s hash=%s terms=%d", h.name, h.Runtime().Hash(), h.Runtime().NumTerms()))
+	}
+	sort.Strings(s.names)
+	if m := cfg.Metrics; m != nil {
+		m.QueueDepth = func() int {
+			d := 0
+			for _, h := range handles {
+				d += h.batcher.Depth()
+			}
+			return d
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.HandleFunc("/v1/models", s.instrument(epModels, s.handleModels))
+	mux.HandleFunc("/v1/score", s.instrument(epScore, s.handleScore))
+	mux.HandleFunc("/v1/reload", s.instrument(epReload, s.handleReload))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handle returns the named handle (nil if unknown) — used by fracserve's
+// SIGHUP reload path.
+func (s *Server) Handle(name string) *Handle { return s.handles[name] }
+
+// Names returns the sorted model names.
+func (s *Server) Names() []string { return s.names }
+
+// Close drains and stops every batcher. Call after the HTTP listener has
+// stopped accepting requests: accepted score submissions finish scoring,
+// later ones get 503.
+func (s *Server) Close() {
+	for _, h := range s.handles {
+		h.batcher.Close()
+	}
+}
+
+// statusWriter captures the response status for request accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/status accounting.
+func (s *Server) instrument(ep endpoint, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		fn(sw, r)
+		s.cfg.Metrics.observeRequest(ep, sw.status, time.Since(start).Nanoseconds())
+	}
+}
+
+// apiError is a client-visible failure with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		// The handlers only pass finite, marshalable documents; nothing
+		// sensible is left to send if this ever trips.
+		return
+	}
+	w.Write(append(blob, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var api *apiError
+	if !errors.As(err, &api) {
+		api = errf(http.StatusInternalServerError, "%s", err)
+	}
+	writeJSON(w, api.status, map[string]string{"error": api.msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ModelInfo is one /v1/models entry.
+type ModelInfo struct {
+	Name      string        `json:"name"`
+	ModelHash string        `json:"model_hash"`
+	Path      string        `json:"path"`
+	Terms     int           `json:"terms"`
+	Bytes     int64         `json:"bytes"`
+	LoadedAt  string        `json:"loaded_at"`
+	Reloads   int64         `json:"reloads"`
+	Schema    []FeatureInfo `json:"schema"`
+}
+
+// FeatureInfo describes one schema feature to API clients (fracload uses it
+// to synthesize load).
+type FeatureInfo struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Arity int    `json:"arity,omitempty"`
+}
+
+// ModelsResponse is the /v1/models document.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, errf(http.StatusMethodNotAllowed, "GET only"))
+		return
+	}
+	doc := ModelsResponse{Models: make([]ModelInfo, 0, len(s.names))}
+	for _, name := range s.names {
+		rt := s.handles[name].Runtime()
+		schema := rt.Schema()
+		info := ModelInfo{
+			Name:      name,
+			ModelHash: rt.Hash(),
+			Path:      rt.Path(),
+			Terms:     rt.NumTerms(),
+			Bytes:     rt.Bytes(),
+			LoadedAt:  rt.LoadedAt().UTC().Format(time.RFC3339Nano),
+			Reloads:   s.handles[name].Reloads(),
+			Schema:    make([]FeatureInfo, len(schema)),
+		}
+		for i, f := range schema {
+			info.Schema[i] = FeatureInfo{Name: f.Name, Kind: f.Kind.String(), Arity: f.Arity}
+		}
+		doc.Models = append(doc.Models, info)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// cell is one row value on the wire: a finite JSON number, or null for a
+// missing value (the in-matrix NaN encoding has no JSON spelling).
+type cell float64
+
+func (c *cell) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*c = cell(dataset.Missing)
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("cell %q is not a number or null", b)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("cell %q is not finite (use null for missing)", b)
+	}
+	*c = cell(v)
+	return nil
+}
+
+// ScoreRequest is the /v1/score request body.
+type ScoreRequest struct {
+	// Model selects the handle; optional when exactly one model is served.
+	Model string `json:"model"`
+	// Rows is the sample batch: one inner array per sample, one cell per
+	// schema feature, null for missing.
+	Rows [][]cell `json:"rows"`
+}
+
+// ScoreResponse is the /v1/score response body.
+type ScoreResponse struct {
+	Model string `json:"model"`
+	// ModelHash identifies the exact runtime that scored every row of this
+	// response.
+	ModelHash string `json:"model_hash"`
+	// Scores is the total normalized surprisal per row, bit-identical to the
+	// offline batch pipeline.
+	Scores []float64 `json:"scores"`
+}
+
+// decodeScoreRequest parses and bounds-checks a score request body. All
+// failures are 4xx.
+func (s *Server) decodeScoreRequest(r *http.Request) (*Handle, *linalg.Matrix, error) {
+	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	var req ScoreRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, nil, errf(http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+		}
+		return nil, nil, errf(http.StatusBadRequest, "bad request body: %s", err)
+	}
+
+	h := s.handles[req.Model]
+	switch {
+	case req.Model == "" && len(s.names) == 1:
+		h = s.handles[s.names[0]]
+	case req.Model == "":
+		return nil, nil, errf(http.StatusBadRequest,
+			"%d models served; request must name one of %v", len(s.names), s.names)
+	case h == nil:
+		return nil, nil, errf(http.StatusNotFound, "unknown model %q (serving %v)", req.Model, s.names)
+	}
+
+	n := len(req.Rows)
+	if n == 0 {
+		return nil, nil, errf(http.StatusBadRequest, "no rows")
+	}
+	if n > s.cfg.MaxRows {
+		return nil, nil, errf(http.StatusRequestEntityTooLarge,
+			"%d rows exceeds per-request limit %d", n, s.cfg.MaxRows)
+	}
+	cols := len(h.Runtime().Schema())
+	rows := linalg.NewMatrix(n, cols)
+	for i, row := range req.Rows {
+		if len(row) != cols {
+			return nil, nil, errf(http.StatusBadRequest,
+				"row %d has %d values, model %q expects %d", i, len(row), h.name, cols)
+		}
+		dst := rows.Row(i)
+		for j, v := range row {
+			dst[j] = float64(v)
+		}
+	}
+	return h, rows, nil
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, "POST only"))
+		return
+	}
+	h, rows, err := s.decodeScoreRequest(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]float64, rows.Rows)
+	rt, err := h.batcher.Submit(r.Context(), rows, out)
+	if err != nil {
+		// Everything the batcher reports means "not scored, retry later":
+		// shutdown, queue overload, cancellation, or a reload changing the
+		// schema underneath the queued request.
+		writeErr(w, errf(http.StatusServiceUnavailable, "%s", err))
+		return
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Extreme but schema-valid inputs can push a surprisal to +Inf;
+			// JSON cannot carry it, so the row is reported instead of
+			// silently mangled.
+			writeErr(w, errf(http.StatusUnprocessableEntity,
+				"row %d produced a non-finite score", i))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{Model: h.name, ModelHash: rt.Hash(), Scores: out})
+}
+
+// ReloadResult is one model's outcome in a /v1/reload response.
+type ReloadResult struct {
+	Model     string `json:"model"`
+	ModelHash string `json:"model_hash,omitempty"`
+	Changed   bool   `json:"changed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ReloadResponse is the /v1/reload document.
+type ReloadResponse struct {
+	Results []ReloadResult `json:"results"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, errf(http.StatusMethodNotAllowed, "POST only"))
+		return
+	}
+	names := s.names
+	if want := r.URL.Query().Get("model"); want != "" {
+		if s.handles[want] == nil {
+			writeErr(w, errf(http.StatusNotFound, "unknown model %q (serving %v)", want, s.names))
+			return
+		}
+		names = []string{want}
+	}
+	doc := ReloadResponse{Results: make([]ReloadResult, 0, len(names))}
+	status := http.StatusOK
+	for _, name := range names {
+		res := s.ReloadHandle(name)
+		if res.Error != "" {
+			status = http.StatusInternalServerError
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	writeJSON(w, status, doc)
+}
+
+// ReloadHandle hot-reloads one model by name (shared by POST /v1/reload and
+// fracserve's SIGHUP path) and journals the outcome. A failed reload leaves
+// the previous runtime serving.
+func (s *Server) ReloadHandle(name string) ReloadResult {
+	h := s.handles[name]
+	if h == nil {
+		return ReloadResult{Model: name, Error: "unknown model"}
+	}
+	rt, changed, err := h.Reload()
+	if err != nil {
+		s.cfg.Recorder.Annotate("serve_reload", fmt.Sprintf("%s error=%s", name, err))
+		return ReloadResult{Model: name, Error: err.Error()}
+	}
+	s.cfg.Recorder.Annotate("serve_reload",
+		fmt.Sprintf("%s hash=%s changed=%v", name, rt.Hash(), changed))
+	return ReloadResult{Model: name, ModelHash: rt.Hash(), Changed: changed}
+}
