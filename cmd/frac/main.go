@@ -21,6 +21,12 @@
 //
 //	frac -train normals.tsv -save-model m.frac          # train and save
 //	frac -load-model m.frac -test patients.tsv -scores  # score later
+//
+// Saved models carry a drift reference — the NS distribution on healthy
+// data — that fracserve uses for model-health monitoring. By default the
+// reference is captured from the training set; -drift-ref names a held-out
+// normals TSV instead (a better estimate of serving-time NS), and
+// -no-drift-ref skips capture entirely.
 package main
 
 import (
@@ -79,6 +85,8 @@ func main() {
 	flag.BoolVar(&opt.f32, "float32-design", false, "store the masked-training design cache as float32 (~2x kernel bandwidth; scores match the float64 path within tolerance, not bit for bit)")
 	saveModel := flag.String("save-model", "", "train full FRaC on -train and save the model here")
 	loadModel := flag.String("load-model", "", "load a saved model and score -test")
+	driftRef := flag.String("drift-ref", "", "held-out normals TSV to capture the drift reference from (default: the training set)")
+	noDriftRef := flag.Bool("no-drift-ref", false, "save the model without a drift reference")
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -104,6 +112,8 @@ func main() {
 		"learners", opt.learners,
 		"replicates", strconv.Itoa(*replicates),
 		"float32-design", strconv.FormatBool(opt.f32),
+		"drift-ref", *driftRef,
+		"no-drift-ref", strconv.FormatBool(*noDriftRef),
 	)
 	opt.manifest.Float32Design = opt.f32
 	// When telemetry is on, run all term-level work through one instrumented
@@ -132,7 +142,7 @@ func main() {
 
 	switch {
 	case *saveModel != "":
-		err = trainAndSave(ctx, *trainPath, *saveModel, opt)
+		err = trainAndSave(ctx, *trainPath, *saveModel, *driftRef, *noDriftRef, opt)
 	case *loadModel != "":
 		err = loadAndScore(*loadModel, *testPath, opt)
 	default:
@@ -171,7 +181,24 @@ func readDataset(path string, rec *obs.Recorder) (*frac.Dataset, error) {
 	return d, err
 }
 
-func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options) error {
+// normalsOnly strips anomalous rows, as the FRaC protocol requires for
+// training and reference data.
+func normalsOnly(d *frac.Dataset) *frac.Dataset {
+	if d.Anomalous == nil {
+		return d
+	}
+	var rows []int
+	for i, a := range d.Anomalous {
+		if !a {
+			rows = append(rows, i)
+		}
+	}
+	d = d.SelectSamples(rows)
+	d.Anomalous = nil
+	return d
+}
+
+func trainAndSave(ctx context.Context, trainPath, modelPath, driftRefPath string, noDriftRef bool, opt options) error {
 	if trainPath == "" {
 		return fmt.Errorf("-save-model needs -train")
 	}
@@ -179,17 +206,7 @@ func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options)
 	if err != nil {
 		return err
 	}
-	if train.Anomalous != nil {
-		// Keep normals only, as the FRaC protocol requires.
-		var rows []int
-		for i, a := range train.Anomalous {
-			if !a {
-				rows = append(rows, i)
-			}
-		}
-		train = train.SelectSamples(rows)
-		train.Anomalous = nil
-	}
+	train = normalsOnly(train)
 	opt.describeDataset(train.Name, train.NumFeatures(), train.NumSamples(), 0, 0)
 	cfg := frac.Config{Seed: opt.seed, Workers: opt.workers, Obs: opt.obs,
 		Float32Design: opt.f32}
@@ -198,6 +215,9 @@ func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options)
 	}
 	model, err := frac.TrainCtx(ctx, train, frac.FullTerms(train.NumFeatures()), cfg)
 	if err != nil {
+		return err
+	}
+	if err := captureDriftRef(ctx, model, train, driftRefPath, noDriftRef, opt); err != nil {
 		return err
 	}
 	f, err := os.Create(modelPath)
@@ -213,6 +233,39 @@ func trainAndSave(ctx context.Context, trainPath, modelPath string, opt options)
 	}
 	fmt.Printf("trained on %d samples x %d features; model saved to %s\n",
 		train.NumSamples(), train.NumFeatures(), modelPath)
+	return nil
+}
+
+// captureDriftRef embeds the healthy NS distribution into the model. An
+// explicit -drift-ref that cannot produce a reference is an error; the
+// implicit capture-from-train default degrades to a warning (tiny training
+// sets are legitimate, they just cannot be monitored).
+func captureDriftRef(ctx context.Context, model *frac.Model, train *frac.Dataset, refPath string, skip bool, opt options) error {
+	if skip {
+		return nil
+	}
+	refSet := train
+	if refPath != "" {
+		d, err := readDataset(refPath, opt.obs)
+		if err != nil {
+			return err
+		}
+		refSet = normalsOnly(d)
+	}
+	if err := model.CaptureDriftReference(ctx, refSet); err != nil {
+		if refPath != "" {
+			return fmt.Errorf("-drift-ref %s: %w", refPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "frac: model saved without drift reference: %v\n", err)
+		return nil
+	}
+	ref := model.DriftReference()
+	src := "training set"
+	if refPath != "" {
+		src = refPath
+	}
+	fmt.Printf("drift reference: %d samples from %s (NS mean=%.4f sd=%.4f, %d bins, %d quantile cells)\n",
+		ref.N, src, ref.Mean, ref.SD, ref.NumBins(), ref.NumCells())
 	return nil
 }
 

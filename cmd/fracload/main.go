@@ -7,13 +7,16 @@
 //
 // Rows are synthesized from the served model's schema (fetched via
 // /v1/models): reals from a seeded normal generator, categoricals as labels
-// in [0, arity). Closed-loop means measured QPS is a sustained-throughput
-// floor — clients never pile up unbounded queues the way open-loop
-// generators do.
+// in [0, arity). -rows-from replays normal rows from a TSV dataset instead,
+// so the traffic matches the model's drift reference; -shift adds a constant
+// to every real feature either way — a covariate-shift injection for
+// exercising the drift monitor. Closed-loop means measured QPS is a
+// sustained-throughput floor — clients never pile up unbounded queues the
+// way open-loop generators do.
 //
 // -bench-out merges the results into BENCH_results.json as the "serve"
-// exhibit (other sections are preserved); -min-qps turns the run into a
-// pass/fail gate for CI.
+// exhibit (other sections are preserved); -min-qps and -max-p99 turn the run
+// into a pass/fail gate for CI.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -31,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"frac"
 )
 
 type options struct {
@@ -42,7 +48,10 @@ type options struct {
 	rows        int
 	seed        int64
 	minQPS      float64
+	maxP99      time.Duration
 	benchOut    string
+	rowsFrom    string
+	shift       float64
 }
 
 func main() {
@@ -55,7 +64,10 @@ func main() {
 	flag.IntVar(&opt.rows, "rows", 1, "rows per request")
 	flag.Int64Var(&opt.seed, "seed", 1, "row synthesis seed")
 	flag.Float64Var(&opt.minQPS, "min-qps", 0, "fail (exit 1) if sustained QPS falls below this")
+	flag.DurationVar(&opt.maxP99, "max-p99", 0, "fail (exit 1) if client-side p99 latency exceeds this")
 	flag.StringVar(&opt.benchOut, "bench-out", "", "merge results into this BENCH_results.json as the \"serve\" exhibit")
+	flag.StringVar(&opt.rowsFrom, "rows-from", "", "TSV dataset to replay rows from (normal rows only) instead of synthesizing")
+	flag.Float64Var(&opt.shift, "shift", 0, "add this constant to every real feature (covariate-shift injection)")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -156,9 +168,15 @@ func run(opt options) error {
 
 	// Pre-marshal a pool of request bodies so the hot loop measures the
 	// server, not the generator's JSON encoder.
-	bodies := synthBodies(target, opt)
+	bodies, err := buildBodies(target, opt)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("fracload: target %s hash=%s features=%d terms=%d\n",
 		target.Name, target.ModelHash, len(target.Schema), target.Terms)
+	if opt.shift != 0 {
+		fmt.Printf("fracload: injecting covariate shift %+g on every real feature\n", opt.shift)
+	}
 	fmt.Printf("fracload: %d clients x %d rows/request for %v (after %v warmup)\n",
 		opt.concurrency, opt.rows, opt.duration, opt.warmup)
 
@@ -251,7 +269,21 @@ func run(opt options) error {
 	if opt.minQPS > 0 && res.QPS < opt.minQPS {
 		return fmt.Errorf("sustained %.0f QPS is below the -min-qps %.0f floor", res.QPS, opt.minQPS)
 	}
+	if opt.maxP99 > 0 {
+		if ceiling := float64(opt.maxP99.Nanoseconds()) / 1e6; res.P99Ms > ceiling {
+			return fmt.Errorf("client p99 %.3fms exceeds the -max-p99 %v ceiling", res.P99Ms, opt.maxP99)
+		}
+	}
 	return nil
+}
+
+// buildBodies pre-marshals the request-body pool, either replaying a dataset
+// or synthesizing schema-conforming rows.
+func buildBodies(target modelEntry, opt options) ([][]byte, error) {
+	if opt.rowsFrom != "" {
+		return fileBodies(target, opt)
+	}
+	return synthBodies(target, opt), nil
 }
 
 // synthBodies pre-marshals a pool of score request bodies with
@@ -268,7 +300,7 @@ func synthBodies(target modelEntry, opt options) [][]byte {
 				if f.Kind == "categorical" {
 					row[j] = float64(rng.Intn(f.Arity))
 				} else {
-					row[j] = rng.NormFloat64()
+					row[j] = rng.NormFloat64() + opt.shift
 				}
 			}
 			rows[r] = row
@@ -280,6 +312,59 @@ func synthBodies(target modelEntry, opt options) [][]byte {
 		bodies[b] = blob
 	}
 	return bodies
+}
+
+// fileBodies pre-marshals bodies that replay the normal rows of a TSV
+// dataset, cycling so every row appears. Missing values become JSON null
+// (the wire spelling of NaN) and -shift is applied to real features only.
+func fileBodies(target modelEntry, opt options) ([][]byte, error) {
+	d, err := frac.ReadDatasetFile(opt.rowsFrom)
+	if err != nil {
+		return nil, err
+	}
+	if d.Anomalous != nil {
+		var keep []int
+		for i, a := range d.Anomalous {
+			if !a {
+				keep = append(keep, i)
+			}
+		}
+		d = d.SelectSamples(keep)
+	}
+	if d.NumSamples() == 0 {
+		return nil, fmt.Errorf("%s has no normal rows to replay", opt.rowsFrom)
+	}
+	if d.NumFeatures() != len(target.Schema) {
+		return nil, fmt.Errorf("%s has %d features, model %q expects %d",
+			opt.rowsFrom, d.NumFeatures(), target.Name, len(target.Schema))
+	}
+	n := d.NumSamples()
+	numBodies := (n + opt.rows - 1) / opt.rows
+	bodies := make([][]byte, numBodies)
+	for b := range bodies {
+		rows := make([][]any, opt.rows)
+		for r := range rows {
+			s := d.Sample((b*opt.rows + r) % n)
+			row := make([]any, len(s))
+			for j, v := range s {
+				if math.IsNaN(v) {
+					row[j] = nil
+					continue
+				}
+				if target.Schema[j].Kind != "categorical" {
+					v += opt.shift
+				}
+				row[j] = v
+			}
+			rows[r] = row
+		}
+		blob, err := json.Marshal(map[string]any{"model": target.Name, "rows": rows})
+		if err != nil {
+			return nil, err
+		}
+		bodies[b] = blob
+	}
+	return bodies, nil
 }
 
 // oneRequest performs one scoring round trip and sanity-checks the response.

@@ -14,6 +14,13 @@
 //
 //	fracmetrics check -baseline BENCH_results.json -tolerance 0.15 BENCH_smoke.json
 //	fracmetrics check -baseline base_metrics.json -max-time-frac 1.5 run_metrics.json
+//
+// The drift subcommand reads fracserve journals and reports the model-health
+// story they tell: every drift window, every alarm transition, and each
+// model's final state. -expect turns it into a CI gate.
+//
+//	fracmetrics drift serve_journal.jsonl
+//	fracmetrics drift -expect drifting,retrain_recommended serve_journal.jsonl
 package main
 
 import (
@@ -37,12 +44,15 @@ type runDoc struct {
 	Metrics obs.Metrics
 }
 
-// journalLine is the subset of a journal event the loader needs: the close
-// event carries the full final metrics snapshot.
+// journalLine is the subset of a journal event the loaders need: the close
+// event carries the full final metrics snapshot, annotation events carry the
+// drift monitor's window and alarm reports.
 type journalLine struct {
 	Type      string       `json:"type"`
 	Cancelled bool         `json:"cancelled"`
 	Metrics   *obs.Metrics `json:"metrics"`
+	Key       string       `json:"key"`
+	Value     string       `json:"value"`
 }
 
 // loadRun reads a run's metrics from either a run_metrics.json document or a
@@ -380,9 +390,160 @@ func cmdCheck(args []string) error {
 	return nil
 }
 
+// kvFields parses the space-separated key=value encoding the serve layer
+// uses for drift annotations.
+func kvFields(s string) map[string]string {
+	out := map[string]string{}
+	for _, tok := range strings.Fields(s) {
+		if k, v, ok := strings.Cut(tok, "="); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// driftModel accumulates one model's health story across journals.
+type driftModel struct {
+	name      string
+	monitored bool
+	windows   int
+	lastState string
+	lastPSI   string
+	lastLogM  string
+	alarms    []string
+}
+
+// scanDriftJournal folds path's drift annotations into models (keyed by
+// model name; order records first appearance).
+func scanDriftJournal(path string, models map[string]*driftModel, order *[]string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	get := func(name string) *driftModel {
+		m := models[name]
+		if m == nil {
+			m = &driftModel{name: name, lastState: "healthy"}
+			models[name] = m
+			*order = append(*order, name)
+		}
+		return m
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev journalLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("%s: bad journal line: %w", path, err)
+		}
+		if ev.Type != "annotation" {
+			continue
+		}
+		switch ev.Key {
+		case "serve_load":
+			fields := kvFields(ev.Value)
+			// The model name is the first (bare) token of a serve_load line.
+			if toks := strings.Fields(ev.Value); len(toks) > 0 {
+				m := get(toks[0])
+				m.monitored = m.monitored || fields["drift_monitor"] == "true"
+			}
+		case "drift":
+			fields := kvFields(ev.Value)
+			m := get(fields["model"])
+			m.monitored = true
+			m.windows++
+			m.lastState = fields["state"]
+			m.lastPSI = fields["psi"]
+			m.lastLogM = fields["logm"]
+		case "drift_alarm":
+			fields := kvFields(ev.Value)
+			m := get(fields["model"])
+			m.monitored = true
+			m.alarms = append(m.alarms, fmt.Sprintf(
+				"window %s: %s -> %s (trigger=%s psi=%s logm=%s top=%s)",
+				fields["window"], fields["from"], fields["to"],
+				fields["trigger"], fields["psi"], fields["logm"], fields["top"]))
+			m.lastState = fields["to"]
+		}
+	}
+	return sc.Err()
+}
+
+// cmdDrift reports the drift story recorded in fracserve journals and
+// optionally gates on each monitored model's final state.
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	expect := fs.String("expect", "",
+		"comma-separated acceptable final states for every monitored model (e.g. drifting,retrain_recommended); exit 2 on mismatch")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics drift [-expect states] <journal.jsonl> [...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("drift needs at least one journal file")
+	}
+	models := map[string]*driftModel{}
+	var order []string
+	for _, path := range fs.Args() {
+		if err := scanDriftJournal(path, models, &order); err != nil {
+			return err
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no drift annotations found (was the server run with monitoring enabled?)")
+	}
+
+	acceptable := map[string]bool{}
+	for _, s := range strings.Split(*expect, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			acceptable[s] = true
+		}
+	}
+	mismatched := 0
+	monitored := 0
+	for _, name := range order {
+		m := models[name]
+		if !m.monitored {
+			fmt.Printf("model %s: unmonitored\n", name)
+			continue
+		}
+		monitored++
+		detail := ""
+		if m.lastPSI != "" {
+			detail = fmt.Sprintf(" (psi=%s logm=%s)", m.lastPSI, m.lastLogM)
+		}
+		fmt.Printf("model %s: %d windows, %d alarms, final state=%s%s\n",
+			name, m.windows, len(m.alarms), m.lastState, detail)
+		for _, a := range m.alarms {
+			fmt.Printf("  %s\n", a)
+		}
+		if len(acceptable) > 0 && !acceptable[m.lastState] {
+			fmt.Printf("  final state %q is not in -expect %s\n", m.lastState, *expect)
+			mismatched++
+		}
+	}
+	if len(acceptable) > 0 {
+		if monitored == 0 {
+			return fmt.Errorf("-expect given but no monitored models in the journals")
+		}
+		if mismatched > 0 {
+			return errRegression
+		}
+		fmt.Printf("fracmetrics: %d monitored model(s) ended in an expected state\n", monitored)
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: fracmetrics <diff|check> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics <diff|check|drift> [args]")
 		os.Exit(1)
 	}
 	var err error
@@ -391,8 +552,10 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "drift":
+		err = cmdDrift(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want diff or check)", os.Args[1])
+		err = fmt.Errorf("unknown subcommand %q (want diff, check, or drift)", os.Args[1])
 	}
 	if err != nil {
 		if err == errRegression {

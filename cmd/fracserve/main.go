@@ -12,11 +12,18 @@
 //	GET  /v1/models  loaded models, content hashes, schemas
 //	POST /v1/reload  hot-reload from disk (also SIGHUP); in-flight batches
 //	                 finish on the model they started with
+//	GET  /v1/health  per-model drift verdict (healthy/drifting/retrain_recommended)
 //	GET  /healthz    liveness
 //
+// Models saved with a drift reference (frac -save-model) are monitored
+// automatically: the daemon sketches the served NS stream in rolling windows
+// of -drift-window scores, compares each window against the reference, and
+// surfaces the verdict on /v1/health, as frac_serve_drift_* metrics, and as
+// drift/drift_alarm journal annotations. -no-drift turns monitoring off.
+//
 // The usual telemetry flags apply; -debug-addr exposes frac_serve_* request,
-// latency, and batch-occupancy metrics next to the run metrics, and the
-// journal records every load/reload with the model's content hash.
+// latency, batch-occupancy, and drift metrics next to the run metrics, and
+// the journal records every load/reload with the model's content hash.
 package main
 
 import (
@@ -75,6 +82,8 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 1024, "pending requests beyond which /v1/score returns 503")
 		maxRows    = flag.Int("max-rows", 4096, "rows per score request limit")
 		maxBody    = flag.Int64("max-body-bytes", 8<<20, "request body size limit")
+		driftWin   = flag.Int("drift-window", 512, "served scores per drift comparison window")
+		noDrift    = flag.Bool("no-drift", false, "disable model-health drift monitoring")
 		models     modelList
 		tele       obs.CLIFlags
 	)
@@ -90,6 +99,10 @@ func main() {
 			MaxWait:    *maxWait,
 			Workers:    *workers,
 			QueueDepth: *queueDepth,
+		},
+		Drift: serve.DriftConfig{
+			Disabled: *noDrift,
+			Window:   *driftWin,
 		},
 	}, tele); err != nil {
 		fmt.Fprintf(os.Stderr, "fracserve: %v\n", err)
@@ -118,6 +131,8 @@ func run(addr string, models modelList, cfg serve.ServerConfig, tele obs.CLIFlag
 			"serve-workers", strconv.Itoa(cfg.Batcher.Workers),
 			"queue-depth", strconv.Itoa(cfg.Batcher.QueueDepth),
 			"max-rows", strconv.Itoa(cfg.MaxRows),
+			"drift-window", strconv.Itoa(cfg.Drift.Window),
+			"no-drift", strconv.FormatBool(cfg.Drift.Disabled),
 		)
 	}
 
@@ -157,8 +172,13 @@ func run(addr string, models modelList, cfg serve.ServerConfig, tele obs.CLIFlag
 	}
 	for _, h := range handles {
 		rt := h.Runtime()
-		fmt.Printf("fracserve: model %s hash=%s terms=%d features=%d (%s)\n",
-			h.Name(), rt.Hash(), rt.NumTerms(), len(rt.Schema()), rt.Path())
+		drift := "drift=unmonitored"
+		if h.Monitor() != nil {
+			drift = fmt.Sprintf("drift=monitored(window=%d,ref=%d)",
+				cfg.Drift.Window, rt.DriftReference().N)
+		}
+		fmt.Printf("fracserve: model %s hash=%s terms=%d features=%d %s (%s)\n",
+			h.Name(), rt.Hash(), rt.NumTerms(), len(rt.Schema()), drift, rt.Path())
 	}
 	fmt.Printf("fracserve: listening on http://%s\n", ln.Addr())
 

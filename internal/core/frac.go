@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"frac/internal/dataset"
+	"frac/internal/drift"
 	"frac/internal/linalg"
 	"frac/internal/obs"
 	"frac/internal/parallel"
@@ -124,6 +125,11 @@ type Model struct {
 	schema dataset.Schema
 	terms  []termModel
 
+	// driftRef is the healthy served-NS distribution captured at train time
+	// (nil when never captured), persisted with the model so serving can
+	// monitor for drift without warmup. See CaptureDriftReference.
+	driftRef *drift.Reference
+
 	// inBufs pools ScoreTerm's input-gather buffers so per-sample scoring
 	// is allocation-free in steady state under concurrent callers.
 	inBufs sync.Pool // *[]float64
@@ -234,6 +240,9 @@ func (m *Model) Bytes() int64 {
 	var b int64
 	for i := range m.terms {
 		b += m.terms[i].bytes()
+	}
+	if m.driftRef != nil {
+		b += m.driftRef.Bytes()
 	}
 	return b
 }

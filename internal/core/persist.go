@@ -6,6 +6,7 @@ import (
 
 	"frac/internal/binio"
 	"frac/internal/dataset"
+	"frac/internal/drift"
 	"frac/internal/stats"
 	"frac/internal/svm"
 	"frac/internal/tree"
@@ -17,9 +18,15 @@ import (
 // the built-in learners produce; custom Learners implementations are not
 // serializable and WriteTo reports them as errors.
 
+// Version history:
+//
+//	1 — magic, version, schema, term count, terms.
+//	2 — appends a drift-reference trailer: Bool(present) + drift.Reference
+//	    blob (see internal/drift). Version-1 streams still load (no
+//	    reference); version-2 streams are written unconditionally.
 const (
 	modelMagic   = "FRAC-MODEL"
-	modelVersion = 1
+	modelVersion = 2
 )
 
 // Predictor type tags.
@@ -44,6 +51,10 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			return 0, err
 		}
 	}
+	bw.Bool(m.driftRef != nil)
+	if m.driftRef != nil {
+		m.driftRef.Encode(bw)
+	}
 	// The io.WriterTo contract wants a byte count; the binio writer does
 	// not track one, so report 0 with the error status (callers here use
 	// the error only).
@@ -60,8 +71,12 @@ func ReadModel(r io.Reader) (*Model, error) {
 		}
 		return nil, fmt.Errorf("core: not a FRaC model (magic %q)", magic)
 	}
-	if v := br.Int(); v != modelVersion {
-		return nil, fmt.Errorf("core: unsupported model version %d", v)
+	version := br.Int()
+	if version < 1 || version > modelVersion {
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: unsupported model version %d", version)
 	}
 	schema := decodeSchema(br)
 	if err := schema.Validate(); err != nil {
@@ -83,6 +98,13 @@ func ReadModel(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: term %d: %w", i, err)
 		}
 		m.terms = append(m.terms, tm)
+	}
+	if version >= 2 && br.Bool() {
+		ref, err := drift.DecodeReference(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: drift reference: %w", err)
+		}
+		m.driftRef = ref
 	}
 	return m, br.Err()
 }

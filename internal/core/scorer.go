@@ -50,6 +50,23 @@ func (m *Model) Schema() dataset.Schema { return m.schema }
 // prediction path, and contributions accumulate in ascending term order
 // exactly as ScoreSet.Totals does.
 func (m *Model) ScoreRowsInto(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace) error {
+	return m.ScoreRowsObserved(rows, out, ws, nil)
+}
+
+// TermObserver receives each term's per-row NS contributions during
+// ScoreRowsObserved. ObserveTerm is called once per term, in ascending term
+// order, with the contribution of term ti to each row of the batch; the
+// slice is the scorer's scratch and must not be retained. The drift
+// monitor's collector satisfies this to localize which terms moved.
+type TermObserver interface {
+	ObserveTerm(ti int, contribs []float64)
+}
+
+// ScoreRowsObserved is ScoreRowsInto with a per-term observation tap. The
+// observer sees exactly the contributions that are summed into out, so
+// observing changes nothing about the scores: totals stay bit-identical to
+// the unobserved path. A nil obs is the plain scoring path.
+func (m *Model) ScoreRowsObserved(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace, obs TermObserver) error {
 	if rows.Cols != len(m.schema) {
 		return fmt.Errorf("core: rows have %d features, model expects %d", rows.Cols, len(m.schema))
 	}
@@ -67,6 +84,9 @@ func (m *Model) ScoreRowsInto(rows *linalg.Matrix, out []float64, ws *ScoreWorks
 	row := ws.row[:n]
 	for ti := range m.terms {
 		m.scoreTermBatch(ti, &d, row, &ws.ws)
+		if obs != nil {
+			obs.ObserveTerm(ti, row)
+		}
 		for s, v := range row {
 			out[s] += v
 		}

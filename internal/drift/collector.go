@@ -1,0 +1,59 @@
+package drift
+
+// Collector accumulates per-term NS contributions during batch scoring. It
+// satisfies core.TermObserver structurally: the scoring path hands it each
+// term's per-row contribution slice, and the batch's totals are folded into
+// the owning Monitor in one Record call. One collector belongs to one
+// scoring worker (no internal locking); Reset before each batch, merge
+// after. Steady state it performs zero allocations — the accumulator
+// slices grow to the model's term count once and are reused.
+type Collector struct {
+	rows int
+	sum  []float64
+	sumb []float64 // per-term sum of squares (spread shifts, future use)
+}
+
+// NewCollector returns an empty collector; accumulators are sized on first
+// Reset.
+func NewCollector() *Collector { return &Collector{} }
+
+// Reset prepares the collector for a batch scored by a model with numTerms
+// terms, reallocating only when the term count grew (a hot reload).
+func (c *Collector) Reset(numTerms int) {
+	if cap(c.sum) < numTerms {
+		c.sum = make([]float64, numTerms)
+		c.sumb = make([]float64, numTerms)
+	}
+	c.sum = c.sum[:numTerms]
+	c.sumb = c.sumb[:numTerms]
+	for i := range c.sum {
+		c.sum[i] = 0
+		c.sumb[i] = 0
+	}
+	c.rows = 0
+}
+
+// ObserveTerm implements the scoring path's term observer contract: it is
+// called once per term per batch with the term's per-row NS contributions.
+// The slice is the scorer's scratch and is not retained.
+func (c *Collector) ObserveTerm(ti int, contribs []float64) {
+	if ti < 0 || ti >= len(c.sum) {
+		return
+	}
+	if ti == 0 {
+		c.rows += len(contribs)
+	}
+	var s, sq float64
+	for _, v := range contribs {
+		s += v
+		sq += v * v
+	}
+	c.sum[ti] += s
+	c.sumb[ti] += sq
+}
+
+// Rows returns the number of rows observed since the last Reset.
+func (c *Collector) Rows() int { return c.rows }
+
+// NumTerms returns the term count the collector is sized for.
+func (c *Collector) NumTerms() int { return len(c.sum) }

@@ -1,0 +1,281 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"frac/internal/binio"
+	"frac/internal/stats"
+)
+
+// Reference blob framing (nested inside the model artifact's version-2
+// trailer, with its own magic/version so the drift schema can evolve
+// independently of the model format).
+const (
+	refMagic   = "FRAC-DRIFT"
+	refVersion = 1
+)
+
+// Sizing bounds. Histogram bins and quantile cells scale with the reference
+// sample count so the plug-in divergence estimates stay below the alarm
+// slack: equiprobable cells want ~16 expected reference samples each,
+// histogram bins ~4. A corrupt blob claiming more is rejected.
+const (
+	// MinSamples is the smallest reference BuildReference accepts; below
+	// this every divergence estimate is sampling noise.
+	MinSamples = 32
+	maxBins    = 64
+	minBins    = 16
+	maxCells   = 16
+	minCells   = 4
+)
+
+// Reference is a trained model's healthy NS distribution, captured at train
+// time and persisted into the model artifact. All fields are read-only
+// after build/decode; any number of monitors may share one instance.
+type Reference struct {
+	// N is the number of reference samples the distribution summarizes.
+	N int
+	// Mean and SD are the reference NS moments.
+	Mean, SD float64
+	// Lo and Hi bound the histogram in the symmetric-log domain
+	// (sign(x)·log1p(|x|)); served values outside clamp to the edge bins.
+	Lo, Hi float64
+	// Counts is the reference histogram: mass per symlog bin, summing to N.
+	Counts []float64
+	// QEdges are the strictly increasing interior quantile edges (NS
+	// domain) splitting the reference into len(QEdges)+1 equiprobable
+	// cells — the comparison grid of the KS distance and the martingale.
+	QEdges []float64
+	// TermMean and TermSD summarize each term's per-sample NS contribution
+	// over the reference, for drift localization (which terms moved).
+	TermMean, TermSD []float64
+}
+
+// symlog maps an NS value into the symmetric-log histogram domain: linear
+// near zero, logarithmic in both tails (NS sums of surprisals are
+// heavy-tailed upward and moderately negative at their healthiest).
+func symlog(x float64) float64 {
+	if x >= 0 {
+		return math.Log1p(x)
+	}
+	return -math.Log1p(-x)
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BuildReference summarizes the NS scores of a healthy (all-normal) sample
+// set, with optional per-term contribution summaries (termMean/termSD may
+// both be nil; when given they must have equal length). Scores must be
+// finite — a reference with infinite surprisals would poison every
+// comparison against it.
+func BuildReference(scores []float64, termMean, termSD []float64) (*Reference, error) {
+	n := len(scores)
+	if n < MinSamples {
+		return nil, fmt.Errorf("drift: %d reference samples, need at least %d", n, MinSamples)
+	}
+	if len(termMean) != len(termSD) {
+		return nil, fmt.Errorf("drift: %d term means with %d term SDs", len(termMean), len(termSD))
+	}
+	var wel stats.Welford
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("drift: non-finite reference score %v", s)
+		}
+		wel.Add(s)
+		u := symlog(s)
+		lo = math.Min(lo, u)
+		hi = math.Max(hi, u)
+	}
+	// Pad the range so healthy traffic slightly outside the reference's
+	// min/max lands in interior bins, not the outlier edges.
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	lo -= 0.05 * span
+	hi += 0.05 * span
+
+	bins := clampInt(n/4, minBins, maxBins)
+	cells := clampInt(n/16, minCells, maxCells)
+
+	r := &Reference{
+		N:    n,
+		Mean: wel.Mean(),
+		SD:   wel.StdDev(),
+		Lo:   lo,
+		Hi:   hi,
+	}
+	r.Counts = make([]float64, bins)
+	for _, s := range scores {
+		r.Counts[r.bin(s)]++
+	}
+	// Interior quantile edges at k/cells; duplicate edges (ties in the
+	// score distribution) collapse, shrinking the effective cell count.
+	for k := 1; k < cells; k++ {
+		e := stats.Quantile(scores, float64(k)/float64(cells))
+		if len(r.QEdges) == 0 || e > r.QEdges[len(r.QEdges)-1] {
+			r.QEdges = append(r.QEdges, e)
+		}
+	}
+	if termMean != nil {
+		r.TermMean = append([]float64(nil), termMean...)
+		r.TermSD = append([]float64(nil), termSD...)
+	}
+	return r, nil
+}
+
+// NumCells returns the equiprobable quantile cell count.
+func (r *Reference) NumCells() int { return len(r.QEdges) + 1 }
+
+// NumBins returns the histogram bin count.
+func (r *Reference) NumBins() int { return len(r.Counts) }
+
+// NumTerms returns the number of per-term summaries (0 when none were
+// captured).
+func (r *Reference) NumTerms() int { return len(r.TermMean) }
+
+// Bytes reports the reference's retained footprint.
+func (r *Reference) Bytes() int64 {
+	return 64 + 8*int64(len(r.Counts)+len(r.QEdges)+len(r.TermMean)+len(r.TermSD))
+}
+
+// bin maps an NS value to its histogram bin, clamping outliers (including
+// ±Inf) to the edge bins.
+func (r *Reference) bin(x float64) int {
+	u := symlog(x)
+	if u <= r.Lo {
+		return 0
+	}
+	if u >= r.Hi {
+		return len(r.Counts) - 1
+	}
+	i := int(float64(len(r.Counts)) * (u - r.Lo) / (r.Hi - r.Lo))
+	if i >= len(r.Counts) { // u infinitesimally below Hi can round up
+		i = len(r.Counts) - 1
+	}
+	return i
+}
+
+// qcell maps an NS value to its quantile cell in [0, NumCells()).
+func (r *Reference) qcell(x float64) int {
+	// sort.SearchFloat64s is the count of edges <= x modulo boundary
+	// convention; an open-coded binary search avoids the closure alloc of
+	// sort.Search and keeps the per-sample path allocation-free.
+	lo, hi := 0, len(r.QEdges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.QEdges[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Encode appends the reference to a binio stream.
+func (r *Reference) Encode(w *binio.Writer) {
+	w.String(refMagic)
+	w.Int(refVersion)
+	w.Int(r.N)
+	w.F64(r.Mean)
+	w.F64(r.SD)
+	w.F64(r.Lo)
+	w.F64(r.Hi)
+	w.F64s(r.Counts)
+	w.F64s(r.QEdges)
+	w.F64s(r.TermMean)
+	w.F64s(r.TermSD)
+}
+
+// DecodeReference reads a reference written by Encode, validating every
+// invariant the monitor's hot path relies on (a corrupt blob must fail the
+// load, not panic a scoring worker).
+func DecodeReference(br *binio.Reader) (*Reference, error) {
+	if magic := br.String(); magic != refMagic {
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("drift: bad reference magic %q", magic)
+	}
+	if v := br.Int(); v != refVersion {
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("drift: unsupported reference version %d", v)
+	}
+	r := &Reference{
+		N:    br.Int(),
+		Mean: br.F64(),
+		SD:   br.F64(),
+		Lo:   br.F64(),
+		Hi:   br.F64(),
+	}
+	r.Counts = br.F64s()
+	r.QEdges = br.F64s()
+	r.TermMean = br.F64s()
+	r.TermSD = br.F64s()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return r, r.Validate()
+}
+
+// Validate checks the structural invariants of a decoded reference.
+func (r *Reference) Validate() error {
+	if r.N < 1 {
+		return fmt.Errorf("drift: reference over %d samples", r.N)
+	}
+	if len(r.Counts) < 1 || len(r.Counts) > maxBins {
+		return fmt.Errorf("drift: %d histogram bins (want 1..%d)", len(r.Counts), maxBins)
+	}
+	if len(r.QEdges) >= maxCells {
+		return fmt.Errorf("drift: %d quantile edges (want < %d)", len(r.QEdges), maxCells)
+	}
+	if math.IsNaN(r.Lo) || math.IsNaN(r.Hi) || r.Hi < r.Lo {
+		return fmt.Errorf("drift: histogram range [%v, %v]", r.Lo, r.Hi)
+	}
+	if math.IsNaN(r.Mean) || math.IsNaN(r.SD) || r.SD < 0 {
+		return fmt.Errorf("drift: reference moments mean=%v sd=%v", r.Mean, r.SD)
+	}
+	var total float64
+	for _, c := range r.Counts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("drift: bad histogram count %v", c)
+		}
+		total += c
+	}
+	if math.Abs(total-float64(r.N)) > 1e-6*float64(r.N)+1e-6 {
+		return fmt.Errorf("drift: histogram mass %v for %d samples", total, r.N)
+	}
+	if !sort.Float64sAreSorted(r.QEdges) {
+		return fmt.Errorf("drift: quantile edges not sorted")
+	}
+	for i, e := range r.QEdges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("drift: non-finite quantile edge %v", e)
+		}
+		if i > 0 && e <= r.QEdges[i-1] {
+			return fmt.Errorf("drift: duplicate quantile edge %v", e)
+		}
+	}
+	if len(r.TermMean) != len(r.TermSD) {
+		return fmt.Errorf("drift: %d term means with %d term SDs", len(r.TermMean), len(r.TermSD))
+	}
+	if len(r.TermMean) > binio.MaxSliceLen {
+		return fmt.Errorf("drift: implausible term count %d", len(r.TermMean))
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"frac/internal/core"
+	"frac/internal/drift"
 	"frac/internal/linalg"
 )
 
@@ -64,8 +65,8 @@ type BatcherConfig struct {
 	// with ErrQueueFull. <= 0 selects 1024.
 	QueueDepth int
 	// Metrics, when non-nil, receives batch-occupancy and flush
-	// accounting.
-	Metrics *Metrics
+	// accounting for this batcher's model.
+	Metrics *ModelMetrics
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -84,8 +85,10 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 // Scorer scores one coalesced batch. Implementations pin whatever state the
 // whole batch must share (the Handle pins its current runtime) and report
 // it, so every response can be stamped with the exact model that scored it.
+// col is the worker's drift collector; implementations without drift
+// monitoring ignore it (it may be nil).
 type Scorer interface {
-	ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace) (*Runtime, error)
+	ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector) (*Runtime, error)
 }
 
 // request is one queued submission. Requests are pooled; the done channel
@@ -203,6 +206,7 @@ func (b *Batcher) Close() {
 // worker handles.
 type workerState struct {
 	ws      *core.ScoreWorkspace
+	col     *drift.Collector
 	pending []*request
 	batch   *linalg.Matrix
 	totals  []float64
@@ -210,7 +214,7 @@ type workerState struct {
 
 func (b *Batcher) worker() {
 	defer b.wg.Done()
-	w := &workerState{ws: core.NewScoreWorkspace()}
+	w := &workerState{ws: core.NewScoreWorkspace(), col: drift.NewCollector()}
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -276,7 +280,7 @@ func (b *Batcher) flush(w *workerState, reason int) {
 	if live == 1 {
 		// Single-request batch: score the caller's matrix in place.
 		req := w.pending[0]
-		rt, err = b.scorer.ScoreBatch(req.rows, req.out, w.ws)
+		rt, err = b.scorer.ScoreBatch(req.rows, req.out, w.ws, w.col)
 		b.finish(w.pending, rt, err, reason, req.rows.Rows)
 		return
 	}
@@ -310,7 +314,7 @@ func (b *Batcher) flush(w *workerState, reason int) {
 		same = append(same, req)
 	}
 	w.pending = same
-	rt, err = b.scorer.ScoreBatch(w.batch, totals, w.ws)
+	rt, err = b.scorer.ScoreBatch(w.batch, totals, w.ws, w.col)
 	if err == nil {
 		off = 0
 		for _, req := range w.pending {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"frac/internal/core"
+	"frac/internal/drift"
 	"frac/internal/linalg"
 )
 
@@ -24,7 +25,7 @@ type fakeScorer struct {
 	rows    int
 }
 
-func (f *fakeScorer) ScoreBatch(rows *linalg.Matrix, out []float64, _ *core.ScoreWorkspace) (*Runtime, error) {
+func (f *fakeScorer) ScoreBatch(rows *linalg.Matrix, out []float64, _ *core.ScoreWorkspace, _ *drift.Collector) (*Runtime, error) {
 	if f.delay > 0 {
 		time.Sleep(f.delay)
 	}

@@ -274,9 +274,12 @@ func TestServeMetricsExposition(t *testing.T) {
 		`frac_serve_requests_total{endpoint="score",code="4xx"} 1`,
 		`frac_serve_requests_total{endpoint="healthz",code="2xx"} 1`,
 		"# TYPE frac_serve_score_seconds histogram",
-		"frac_serve_rows_scored_total 3",
+		`frac_serve_rows_scored_total{model="m"} 3`,
 		"# TYPE frac_serve_batch_rows histogram",
-		"frac_serve_flushes_total{reason=",
+		`frac_serve_batch_rows_bucket{model="m",le=`,
+		`frac_serve_flushes_total{model="m",reason=`,
+		// The live queue-depth gauge is always exported, even at zero.
+		"frac_serve_queue_depth 0",
 	} {
 		if !strings.Contains(expo, want) {
 			t.Errorf("exposition is missing %q", want)

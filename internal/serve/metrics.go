@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 
+	"frac/internal/drift"
 	"frac/internal/obs"
 )
 
@@ -23,10 +26,11 @@ const (
 	epModels
 	epReload
 	epHealthz
+	epHealth
 	numEndpoints
 )
 
-var endpointNames = [numEndpoints]string{"score", "models", "reload", "healthz"}
+var endpointNames = [numEndpoints]string{"score", "models", "reload", "healthz", "health"}
 
 // Status-code classes, the second label of frac_serve_requests_total.
 const (
@@ -77,11 +81,17 @@ func (h *histo) observe(v int64) {
 
 // samples renders the cumulative _bucket/_sum/_count series; recorded values
 // are multiplied by scale for the exposition (1e-9 turns nanoseconds into
-// seconds, 1 keeps plain counts).
-func (h *histo) samples(scale float64) []obs.MetricSample {
+// seconds, 1 keeps plain counts). extra labels (e.g. the model name) are
+// prepended to every sample.
+func (h *histo) samples(scale float64, extra ...obs.Label) []obs.MetricSample {
 	hi := numHistBuckets
 	for hi > 0 && h.buckets[hi-1].Load() == 0 {
 		hi--
+	}
+	labels := func(more ...obs.Label) []obs.Label {
+		out := make([]obs.Label, 0, len(extra)+len(more))
+		out = append(out, extra...)
+		return append(out, more...)
 	}
 	out := make([]obs.MetricSample, 0, hi+3)
 	var cum int64
@@ -90,24 +100,24 @@ func (h *histo) samples(scale float64) []obs.MetricSample {
 		le := math.Pow(2, float64(i)) * scale
 		out = append(out, obs.MetricSample{
 			Suffix: "_bucket",
-			Labels: []obs.Label{{Name: "le", Value: formatMetric(le)}},
+			Labels: labels(obs.Label{Name: "le", Value: formatMetric(le)}),
 			Value:  float64(cum),
 		})
 	}
 	count := h.count.Load()
 	out = append(out,
-		obs.MetricSample{Suffix: "_bucket", Labels: []obs.Label{{Name: "le", Value: "+Inf"}}, Value: float64(count)},
-		obs.MetricSample{Suffix: "_sum", Value: float64(h.sum.Load()) * scale},
-		obs.MetricSample{Suffix: "_count", Value: float64(count)},
+		obs.MetricSample{Suffix: "_bucket", Labels: labels(obs.Label{Name: "le", Value: "+Inf"}), Value: float64(count)},
+		obs.MetricSample{Suffix: "_sum", Labels: labels(), Value: float64(h.sum.Load()) * scale},
+		obs.MetricSample{Suffix: "_count", Labels: labels(), Value: float64(count)},
 	)
 	return out
 }
 
-// Metrics is the serving-side metric registry. All observe methods are
-// nil-safe no-ops so instrumentation can be wired through unconditionally.
-type Metrics struct {
-	requests [numEndpoints][numCodeClasses]atomic.Int64
-	latency  [numEndpoints]histo // request wall time, ns
+// ModelMetrics is one served model's share of the registry: batcher
+// accounting plus the drift snapshot hook, all labeled with the model name
+// in the exposition. All observe methods are nil-safe no-ops.
+type ModelMetrics struct {
+	model string
 
 	batchRows  histo // rows per flush (batch occupancy)
 	batchReqs  histo // coalesced requests per flush
@@ -116,21 +126,13 @@ type Metrics struct {
 	rowsScored atomic.Int64
 	queuePeak  atomic.Int64
 
-	// QueueDepth, when set, is the live pending-queue gauge hook.
-	QueueDepth func() int
-}
-
-// observeRequest records one completed HTTP request.
-func (m *Metrics) observeRequest(ep endpoint, status int, ns int64) {
-	if m == nil {
-		return
-	}
-	m.requests[ep][codeClass(status)].Add(1)
-	m.latency[ep].observe(ns)
+	// Drift, when set, supplies the model's current drift snapshot per
+	// scrape (nil when the model is unmonitored).
+	Drift func() *drift.Snapshot
 }
 
 // observeFlush records one batch flush.
-func (m *Metrics) observeFlush(reason, rows, reqs int, ok bool) {
+func (m *ModelMetrics) observeFlush(reason, rows, reqs int, ok bool) {
 	if m == nil {
 		return
 	}
@@ -145,7 +147,7 @@ func (m *Metrics) observeFlush(reason, rows, reqs int, ok bool) {
 }
 
 // observeQueueDepth tracks the pending-queue high-water mark.
-func (m *Metrics) observeQueueDepth(d int) {
+func (m *ModelMetrics) observeQueueDepth(d int) {
 	if m == nil {
 		return
 	}
@@ -155,6 +157,62 @@ func (m *Metrics) observeQueueDepth(d int) {
 			return
 		}
 	}
+}
+
+// Metrics is the serving-side metric registry: request accounting by
+// endpoint plus per-model batcher/drift families. All observe methods are
+// nil-safe no-ops so instrumentation can be wired through unconditionally.
+type Metrics struct {
+	requests [numEndpoints][numCodeClasses]atomic.Int64
+	latency  [numEndpoints]histo // request wall time, ns
+
+	mu       sync.Mutex
+	perModel map[string]*ModelMetrics
+
+	// QueueDepth, when set, is the live pending-queue gauge hook (total
+	// across models). The gauge is always exported — 0 when no hook is
+	// wired — so dashboards can rely on the series existing.
+	QueueDepth func() int
+}
+
+// ForModel returns the named model's metrics, creating them on first use.
+// Nil-safe: a nil registry yields a nil ModelMetrics (all observes no-op).
+func (m *Metrics) ForModel(name string) *ModelMetrics {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.perModel == nil {
+		m.perModel = make(map[string]*ModelMetrics)
+	}
+	mm := m.perModel[name]
+	if mm == nil {
+		mm = &ModelMetrics{model: name}
+		m.perModel[name] = mm
+	}
+	return mm
+}
+
+// models returns the per-model metrics sorted by name (stable exposition).
+func (m *Metrics) models() []*ModelMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*ModelMetrics, 0, len(m.perModel))
+	for _, mm := range m.perModel {
+		out = append(out, mm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].model < out[j].model })
+	return out
+}
+
+// observeRequest records one completed HTTP request.
+func (m *Metrics) observeRequest(ep endpoint, status int, ns int64) {
+	if m == nil {
+		return
+	}
+	m.requests[ep][codeClass(status)].Add(1)
+	m.latency[ep].observe(ns)
 }
 
 // Families renders the frac_serve_* exposition families.
@@ -193,38 +251,150 @@ func (m *Metrics) Families() []obs.MetricFamily {
 			obs.TypeHistogram, m.latency[ep].samples(1e-9)...)
 	}
 
+	models := m.models()
+	mlabel := func(mm *ModelMetrics, more ...obs.Label) []obs.Label {
+		out := make([]obs.Label, 0, 1+len(more))
+		out = append(out, obs.Label{Name: "model", Value: mm.model})
+		return append(out, more...)
+	}
+	var batchRows, batchReqs, flushSamples, flushErrSamples, rowsScoredSamples, peakSamples []obs.MetricSample
+	for _, mm := range models {
+		batchRows = append(batchRows, mm.batchRows.samples(1, obs.Label{Name: "model", Value: mm.model})...)
+		batchReqs = append(batchReqs, mm.batchReqs.samples(1, obs.Label{Name: "model", Value: mm.model})...)
+		for r := 0; r < numFlushReasons; r++ {
+			if v := mm.flushes[r].Load(); v > 0 {
+				flushSamples = append(flushSamples, obs.MetricSample{
+					Labels: mlabel(mm, obs.Label{Name: "reason", Value: flushReasonNames[r]}),
+					Value:  float64(v),
+				})
+			}
+		}
+		flushErrSamples = append(flushErrSamples,
+			obs.MetricSample{Labels: mlabel(mm), Value: float64(mm.flushErrs.Load())})
+		rowsScoredSamples = append(rowsScoredSamples,
+			obs.MetricSample{Labels: mlabel(mm), Value: float64(mm.rowsScored.Load())})
+		peakSamples = append(peakSamples,
+			obs.MetricSample{Labels: mlabel(mm), Value: float64(mm.queuePeak.Load())})
+	}
 	add("frac_serve_batch_rows",
 		"Batch occupancy: rows per flush (power-of-two buckets).",
-		obs.TypeHistogram, m.batchRows.samples(1)...)
+		obs.TypeHistogram, batchRows...)
 	add("frac_serve_batch_requests",
 		"Coalesced requests per flush (power-of-two buckets).",
-		obs.TypeHistogram, m.batchReqs.samples(1)...)
-
-	var flushSamples []obs.MetricSample
-	for r := 0; r < numFlushReasons; r++ {
-		if v := m.flushes[r].Load(); v > 0 {
-			flushSamples = append(flushSamples, obs.MetricSample{
-				Labels: []obs.Label{{Name: "reason", Value: flushReasonNames[r]}},
-				Value:  float64(v),
-			})
-		}
-	}
+		obs.TypeHistogram, batchReqs...)
 	add("frac_serve_flushes_total",
 		"Batch flushes by reason (full/timer/eager/drain).", obs.TypeCounter, flushSamples...)
 	add("frac_serve_flush_errors_total",
-		"Flushes whose scoring failed.", obs.TypeCounter,
-		obs.MetricSample{Value: float64(m.flushErrs.Load())})
+		"Flushes whose scoring failed.", obs.TypeCounter, flushErrSamples...)
 	add("frac_serve_rows_scored_total",
-		"Rows scored through the batcher.", obs.TypeCounter,
-		obs.MetricSample{Value: float64(m.rowsScored.Load())})
+		"Rows scored through the batcher.", obs.TypeCounter, rowsScoredSamples...)
 	add("frac_serve_queue_depth_peak",
-		"Pending-queue high-water mark.", obs.TypeGauge,
-		obs.MetricSample{Value: float64(m.queuePeak.Load())})
+		"Pending-queue high-water mark.", obs.TypeGauge, peakSamples...)
+	depth := 0
 	if m.QueueDepth != nil {
-		add("frac_serve_queue_depth",
-			"Requests currently queued for batching.", obs.TypeGauge,
-			obs.MetricSample{Value: float64(m.QueueDepth())})
+		depth = m.QueueDepth()
 	}
+	add("frac_serve_queue_depth",
+		"Requests currently queued for batching.", obs.TypeGauge,
+		obs.MetricSample{Value: float64(depth)})
+
+	fams = append(fams, m.driftFamilies(models)...)
+	return fams
+}
+
+// driftFamilies renders the frac_serve_drift_* families for every monitored
+// model (models without a drift snapshot contribute no samples).
+func (m *Metrics) driftFamilies(models []*ModelMetrics) []obs.MetricFamily {
+	type snap struct {
+		mm *ModelMetrics
+		s  *drift.Snapshot
+	}
+	var snaps []snap
+	for _, mm := range models {
+		if mm.Drift != nil {
+			if s := mm.Drift(); s != nil {
+				snaps = append(snaps, snap{mm, s})
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	gauge := func(name, help string, value func(snap) float64) obs.MetricFamily {
+		f := obs.MetricFamily{Name: name, Help: help, Type: obs.TypeGauge}
+		for _, sn := range snaps {
+			f.Samples = append(f.Samples, obs.MetricSample{
+				Labels: []obs.Label{{Name: "model", Value: sn.mm.model}},
+				Value:  value(sn),
+			})
+		}
+		return f
+	}
+	fams := []obs.MetricFamily{
+		gauge("frac_serve_drift_state",
+			"Drift verdict: 0 healthy, 1 drifting, 2 retrain_recommended.",
+			func(sn snap) float64 { return float64(sn.s.State) }),
+		gauge("frac_serve_drift_psi",
+			"Debiased population stability index of the last closed window vs the reference.",
+			func(sn snap) float64 { return sn.s.PSI }),
+		gauge("frac_serve_drift_ks",
+			"Kolmogorov-Smirnov distance of the last closed window at the reference quantiles.",
+			func(sn snap) float64 { return sn.s.KS }),
+		gauge("frac_serve_drift_log_martingale",
+			"Log wealth of the sequential drift martingale (alarm evidence).",
+			func(sn snap) float64 { return sn.s.LogM }),
+		gauge("frac_serve_drift_window_fill",
+			"Samples accumulated in the currently open window.",
+			func(sn snap) float64 { return float64(sn.s.WindowFill) }),
+	}
+	samples := gauge("frac_serve_drift_samples_total",
+		"Served scores observed by the drift monitor.",
+		func(sn snap) float64 { return float64(sn.s.Samples) })
+	samples.Type = obs.TypeCounter
+	windows := gauge("frac_serve_drift_windows_total",
+		"Drift comparison windows closed.",
+		func(sn snap) float64 { return float64(sn.s.Windows) })
+	windows.Type = obs.TypeCounter
+	fams = append(fams, samples, windows)
+
+	qf := obs.MetricFamily{
+		Name: "frac_serve_drift_ns_quantile",
+		Help: "Lifetime served-NS quantiles (P2 streaming estimates).",
+		Type: obs.TypeGauge,
+	}
+	for _, sn := range snaps {
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", sn.s.P50}, {"0.95", sn.s.P95}, {"0.99", sn.s.P99}} {
+			qf.Samples = append(qf.Samples, obs.MetricSample{
+				Labels: []obs.Label{
+					{Name: "model", Value: sn.mm.model},
+					{Name: "q", Value: q.label},
+				},
+				Value: q.v,
+			})
+		}
+	}
+	fams = append(fams, qf)
+
+	tf := obs.MetricFamily{
+		Name: "frac_serve_drift_top_term_shift",
+		Help: "Standardized mean shift of the most-drifted terms in the last closed window.",
+		Type: obs.TypeGauge,
+	}
+	for _, sn := range snaps {
+		for _, ts := range sn.s.Top {
+			tf.Samples = append(tf.Samples, obs.MetricSample{
+				Labels: []obs.Label{
+					{Name: "model", Value: sn.mm.model},
+					{Name: "term", Value: fmt.Sprintf("%d", ts.Term)},
+				},
+				Value: ts.Shift,
+			})
+		}
+	}
+	fams = append(fams, tf)
 	return fams
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"frac/internal/core"
 	"frac/internal/dataset"
+	"frac/internal/drift"
 	"frac/internal/linalg"
 )
 
@@ -82,6 +83,21 @@ func (rt *Runtime) NumTerms() int { return rt.model.NumTerms() }
 // Bytes returns the model's retained analytic footprint.
 func (rt *Runtime) Bytes() int64 { return rt.bytes }
 
+// DriftReference returns the healthy NS distribution persisted with the
+// model, or nil when the artifact carries none (version-1 artifacts, or
+// training with drift capture disabled).
+func (rt *Runtime) DriftReference() *drift.Reference { return rt.model.DriftReference() }
+
+// TermFeature names the schema feature term ti predicts, for drift
+// localization reports.
+func (rt *Runtime) TermFeature(ti int) string {
+	schema := rt.model.Schema()
+	if target := rt.model.TermTarget(ti); target >= 0 && target < len(schema) {
+		return schema[target].Name
+	}
+	return fmt.Sprintf("term%d", ti)
+}
+
 // ScoreInto scores each row of rows into out using ws (see
 // core.Model.ScoreRowsInto; bit-identical to the batch pipeline at any
 // partitioning).
@@ -100,6 +116,12 @@ type Handle struct {
 	cur  atomic.Pointer[Runtime]
 
 	reloads atomic.Int64 // successful Reload calls (the initial load is not counted)
+
+	// mon is the handle's drift monitor (nil when the loaded model carries
+	// no reference or monitoring is disabled). Swapped atomically alongside
+	// runtime reloads; a batch records into whichever monitor it loads, so
+	// a reload never tears a window.
+	mon atomic.Pointer[drift.Monitor]
 
 	batcher *Batcher
 }
@@ -127,6 +149,12 @@ func (h *Handle) Runtime() *Runtime { return h.cur.Load() }
 // Reloads returns the number of completed hot reloads.
 func (h *Handle) Reloads() int64 { return h.reloads.Load() }
 
+// Monitor returns the handle's drift monitor (nil when unmonitored).
+func (h *Handle) Monitor() *drift.Monitor { return h.mon.Load() }
+
+// SetMonitor installs (or clears, with nil) the handle's drift monitor.
+func (h *Handle) SetMonitor(m *drift.Monitor) { h.mon.Store(m) }
+
 // Reload re-reads the handle's model file and atomically swaps it in,
 // returning the new runtime and whether its hash changed. The load happens
 // entirely off to the side: scoring keeps using the old runtime until the
@@ -145,11 +173,24 @@ func (h *Handle) Reload() (rt *Runtime, changed bool, err error) {
 
 // ScoreBatch implements the batcher's Scorer contract: it pins the current
 // runtime, scores the whole batch against it, and reports which runtime was
-// used so responses can be stamped with the model hash.
-func (h *Handle) ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace) (*Runtime, error) {
+// used so responses can be stamped with the model hash. When the handle has
+// a drift monitor and the worker supplied a collector, the batch is scored
+// through the observed path — the observer sees exactly the contributions
+// that are summed, so scores stay bit-identical — and its totals plus
+// per-term sums are folded into the monitor.
+func (h *Handle) ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector) (*Runtime, error) {
 	rt := h.cur.Load()
-	if err := rt.ScoreInto(rows, out, ws); err != nil {
+	mon := h.mon.Load()
+	if mon == nil || col == nil {
+		if err := rt.ScoreInto(rows, out, ws); err != nil {
+			return nil, err
+		}
+		return rt, nil
+	}
+	col.Reset(rt.NumTerms())
+	if err := rt.model.ScoreRowsObserved(rows, out, ws, col); err != nil {
 		return nil, err
 	}
+	mon.Record(out, col)
 	return rt, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"frac/internal/dataset"
+	"frac/internal/drift"
 	"frac/internal/linalg"
 	"frac/internal/obs"
 )
@@ -20,6 +21,7 @@ import (
 //	POST /v1/score   {"model":"name","rows":[[...]]} → {"model","model_hash","scores":[...]}
 //	GET  /v1/models  loaded models with identity + schema
 //	POST /v1/reload  hot-reload one model (?model=name) or all
+//	GET  /v1/health  per-model drift verdict (healthy/drifting/retrain_recommended)
 //	GET  /healthz    liveness probe
 //
 // Rows carry one JSON number per schema feature, with missing values as
@@ -40,8 +42,21 @@ type ServerConfig struct {
 	// into the batchers.
 	Metrics *Metrics
 	// Recorder, when non-nil, receives journal annotations for model
-	// load/reload events. Nil-safe (obs idiom).
+	// load/reload events and drift window/alarm transitions. Nil-safe
+	// (obs idiom).
 	Recorder *obs.Recorder
+	// Drift configures model-health monitoring.
+	Drift DriftConfig
+}
+
+// DriftConfig controls the per-model drift monitors.
+type DriftConfig struct {
+	// Disabled turns drift monitoring off even for models that carry a
+	// reference.
+	Disabled bool
+	// Window is the drift comparison window size in served scores;
+	// <= 0 selects the drift package default (512).
+	Window int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -72,7 +87,6 @@ func NewServer(handles []*Handle, cfg ServerConfig) (*Server, error) {
 		return nil, errors.New("serve: no models to serve")
 	}
 	cfg = cfg.withDefaults()
-	cfg.Batcher.Metrics = cfg.Metrics
 	s := &Server{cfg: cfg, handles: make(map[string]*Handle, len(handles))}
 	for _, h := range handles {
 		if _, dup := s.handles[h.name]; dup {
@@ -80,9 +94,23 @@ func NewServer(handles []*Handle, cfg ServerConfig) (*Server, error) {
 		}
 		s.handles[h.name] = h
 		s.names = append(s.names, h.name)
-		h.batcher = NewBatcher(h, cfg.Batcher)
+		bcfg := cfg.Batcher
+		bcfg.Metrics = cfg.Metrics.ForModel(h.name)
+		h.batcher = NewBatcher(h, bcfg)
+		s.attachMonitor(h)
+		if mm := bcfg.Metrics; mm != nil {
+			handle := h
+			mm.Drift = func() *drift.Snapshot {
+				if mon := handle.Monitor(); mon != nil {
+					snap := mon.Snapshot()
+					return &snap
+				}
+				return nil
+			}
+		}
 		cfg.Recorder.Annotate("serve_load",
-			fmt.Sprintf("%s hash=%s terms=%d", h.name, h.Runtime().Hash(), h.Runtime().NumTerms()))
+			fmt.Sprintf("%s hash=%s terms=%d drift_monitor=%v",
+				h.name, h.Runtime().Hash(), h.Runtime().NumTerms(), h.Monitor() != nil))
 	}
 	sort.Strings(s.names)
 	if m := cfg.Metrics; m != nil {
@@ -100,8 +128,46 @@ func NewServer(handles []*Handle, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/v1/models", s.instrument(epModels, s.handleModels))
 	mux.HandleFunc("/v1/score", s.instrument(epScore, s.handleScore))
 	mux.HandleFunc("/v1/reload", s.instrument(epReload, s.handleReload))
+	mux.HandleFunc("/v1/health", s.instrument(epHealth, s.handleHealth))
 	s.mux = mux
 	return s, nil
+}
+
+// attachMonitor builds (or clears) a handle's drift monitor from its current
+// runtime's persisted reference and wires window closes and alarm
+// transitions into the journal. Called at startup and after every reload
+// that swapped the runtime.
+func (s *Server) attachMonitor(h *Handle) {
+	if s.cfg.Drift.Disabled {
+		h.SetMonitor(nil)
+		return
+	}
+	rt := h.Runtime()
+	ref := rt.DriftReference()
+	if ref == nil {
+		h.SetMonitor(nil)
+		return
+	}
+	mon := drift.NewMonitor(ref, drift.Config{WindowSize: s.cfg.Drift.Window})
+	name := h.Name()
+	mon.SetOnWindow(func(ws drift.WindowStats) {
+		s.cfg.Recorder.Annotate("drift", fmt.Sprintf(
+			"model=%s window=%d n=%d mean=%.4f psi=%.4f ks=%.4f logm=%.3f state=%s",
+			name, ws.Window, ws.N, ws.Mean, ws.PSI, ws.KS, ws.LogM, ws.State))
+	})
+	mon.SetOnStateChange(func(ws drift.WindowStats) {
+		top := ""
+		for i, ts := range ws.Top {
+			if i > 0 {
+				top += ","
+			}
+			top += fmt.Sprintf("%s:%+.2f", rt.TermFeature(ts.Term), ts.Shift)
+		}
+		s.cfg.Recorder.Annotate("drift_alarm", fmt.Sprintf(
+			"model=%s window=%d from=%s to=%s trigger=%s psi=%.4f logm=%.3f top=[%s]",
+			name, ws.Window, ws.Prev, ws.State, ws.Trigger, ws.PSI, ws.LogM, top))
+	})
+	h.SetMonitor(mon)
 }
 
 // ServeHTTP implements http.Handler.
@@ -405,7 +471,109 @@ func (s *Server) ReloadHandle(name string) ReloadResult {
 		s.cfg.Recorder.Annotate("serve_reload", fmt.Sprintf("%s error=%s", name, err))
 		return ReloadResult{Model: name, Error: err.Error()}
 	}
+	if changed {
+		// A new artifact may carry a different reference (or none); drift
+		// history against the old reference no longer applies.
+		s.attachMonitor(h)
+	}
 	s.cfg.Recorder.Annotate("serve_reload",
 		fmt.Sprintf("%s hash=%s changed=%v", name, rt.Hash(), changed))
 	return ReloadResult{Model: name, ModelHash: rt.Hash(), Changed: changed}
+}
+
+// TermHealth is one drifted term in a /v1/health report.
+type TermHealth struct {
+	Term    int     `json:"term"`
+	Feature string  `json:"feature"`
+	Shift   float64 `json:"shift"`
+}
+
+// ModelHealth is one model's drift verdict in a /v1/health response.
+type ModelHealth struct {
+	Model string `json:"model"`
+	// Status is healthy | drifting | retrain_recommended, or "unmonitored"
+	// when the loaded artifact carries no drift reference (or monitoring is
+	// disabled).
+	Status    string `json:"status"`
+	Monitored bool   `json:"monitored"`
+	// Trigger names the statistic that (last) tripped the alarm.
+	Trigger       string  `json:"trigger,omitempty"`
+	LogMartingale float64 `json:"log_martingale"`
+	PSI           float64 `json:"psi"`
+	KS            float64 `json:"ks"`
+	Windows       int64   `json:"windows"`
+	Samples       int64   `json:"samples"`
+	WindowSize    int     `json:"window_size"`
+	WindowFill    int     `json:"window_fill"`
+	NSMean        float64 `json:"ns_mean"`
+	NSP50         float64 `json:"ns_p50"`
+	NSP95         float64 `json:"ns_p95"`
+	NSP99         float64 `json:"ns_p99"`
+	RefMean       float64 `json:"ref_mean"`
+	RefSD         float64 `json:"ref_sd"`
+	RefSamples    int     `json:"ref_samples"`
+	// TopTerms are the most-drifted feature terms of the last closed
+	// window, by absolute standardized mean shift.
+	TopTerms []TermHealth `json:"top_terms,omitempty"`
+}
+
+// HealthResponse is the /v1/health document.
+type HealthResponse struct {
+	Models []ModelHealth `json:"models"`
+}
+
+// jsonF makes a float JSON-safe: NaN and infinities (possible only in
+// degenerate monitors that have seen no finite samples) render as 0.
+func jsonF(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, errf(http.StatusMethodNotAllowed, "GET only"))
+		return
+	}
+	doc := HealthResponse{Models: make([]ModelHealth, 0, len(s.names))}
+	for _, name := range s.names {
+		h := s.handles[name]
+		mon := h.Monitor()
+		if mon == nil {
+			doc.Models = append(doc.Models, ModelHealth{Model: name, Status: "unmonitored"})
+			continue
+		}
+		snap := mon.Snapshot()
+		mh := ModelHealth{
+			Model:         name,
+			Status:        snap.State.String(),
+			Monitored:     true,
+			Trigger:       snap.Trigger,
+			LogMartingale: jsonF(snap.LogM),
+			PSI:           jsonF(snap.PSI),
+			KS:            jsonF(snap.KS),
+			Windows:       snap.Windows,
+			Samples:       snap.Samples,
+			WindowSize:    snap.WindowSize,
+			WindowFill:    snap.WindowFill,
+			NSMean:        jsonF(snap.Mean),
+			NSP50:         jsonF(snap.P50),
+			NSP95:         jsonF(snap.P95),
+			NSP99:         jsonF(snap.P99),
+			RefMean:       jsonF(snap.RefMean),
+			RefSD:         jsonF(snap.RefSD),
+			RefSamples:    snap.RefN,
+		}
+		rt := h.Runtime()
+		for _, ts := range snap.Top {
+			mh.TopTerms = append(mh.TopTerms, TermHealth{
+				Term:    ts.Term,
+				Feature: rt.TermFeature(ts.Term),
+				Shift:   jsonF(ts.Shift),
+			})
+		}
+		doc.Models = append(doc.Models, mh)
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

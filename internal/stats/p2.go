@@ -1,0 +1,135 @@
+package stats
+
+// P2Quantile is the P² (piecewise-parabolic) streaming quantile estimator of
+// Jain & Chlamtac (1985): it tracks one quantile of an unbounded stream in
+// constant memory — five markers whose heights are nudged toward their ideal
+// positions with a parabolic interpolation — without retaining observations.
+// The drift monitor uses it to report served-NS quantiles over the lifetime
+// of a mounted model, where the exact estimator (stats.Quantile) would need
+// the whole stream.
+//
+// Until five observations have arrived the estimator falls back to the exact
+// order statistic over what it has seen, so small streams report exact
+// quantiles.
+type P2Quantile struct {
+	q float64 // target quantile in (0,1)
+
+	n       int        // observations seen
+	heights [5]float64 // marker heights (sorted)
+	pos     [5]float64 // actual marker positions (1-based counts)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the q-th quantile, q in (0,1). It
+// panics on a q outside the open interval (a 0 or 1 target is an extremum,
+// tracked exactly with a running min/max, not a P² marker).
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 1 {
+		panic("stats: P2Quantile target must be in (0,1)")
+	}
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// N reports the number of observations folded in.
+func (p *P2Quantile) N() int { return p.n }
+
+// Add folds one observation into the estimator. Constant time, no
+// allocation.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		// Insertion-sort the first five observations into the marker array.
+		i := p.n
+		for i > 0 && p.heights[i-1] > x {
+			p.heights[i] = p.heights[i-1]
+			i--
+		}
+		p.heights[i] = x
+		p.n++
+		if p.n == 5 {
+			for j := range p.pos {
+				p.pos[j] = float64(j + 1)
+			}
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by step s (±1).
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots a
+// neighboring marker.
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value reports the current quantile estimate (0 when empty; the exact order
+// statistic below five observations).
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		// Exact nearest-rank interpolation over the sorted prefix.
+		pos := p.q * float64(p.n-1)
+		lo := int(pos)
+		if lo == p.n-1 {
+			return p.heights[lo]
+		}
+		frac := pos - float64(lo)
+		return p.heights[lo]*(1-frac) + p.heights[lo+1]*frac
+	}
+	return p.heights[2]
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2QuantileSmallStreamExact(t *testing.T) {
+	xs := []float64{7, -2, 3.5, 0}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		p := NewP2Quantile(q)
+		for _, x := range xs {
+			p.Add(x)
+		}
+		if got, want := p.Value(), Quantile(xs, q); got != want {
+			t.Errorf("q=%v: got %v, want exact %v", q, got, want)
+		}
+	}
+}
+
+func TestP2QuantileEmpty(t *testing.T) {
+	if v := NewP2Quantile(0.5).Value(); v != 0 {
+		t.Fatalf("empty estimator: got %v, want 0", v)
+	}
+}
+
+func TestP2QuantilePanicsOutOfRange(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%v: expected panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func TestP2QuantileLargeStreamAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	xs := make([]float64, n)
+	for _, tc := range []struct {
+		name string
+		gen  func() float64
+	}{
+		{"normal", rng.NormFloat64},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()) }},
+		{"uniform", rng.Float64},
+	} {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			p := NewP2Quantile(q)
+			for i := range xs {
+				xs[i] = tc.gen()
+				p.Add(xs[i])
+			}
+			exact := Quantile(xs, q)
+			// Tolerance relative to the distribution's interquartile
+			// spread: P² is an estimator, not exact, but it should land
+			// within a few percent of the spread on 50k samples.
+			spread := Quantile(xs, 0.75) - Quantile(xs, 0.25)
+			tol := 0.08*spread + 0.03*math.Abs(exact)
+			if diff := math.Abs(p.Value() - exact); diff > tol {
+				t.Errorf("%s q=%v: estimate %v vs exact %v (|diff| %v > %v)",
+					tc.name, q, p.Value(), exact, diff, tol)
+			}
+			if p.N() != n {
+				t.Errorf("%s q=%v: N=%d, want %d", tc.name, q, p.N(), n)
+			}
+		}
+	}
+}
+
+func TestP2QuantileMonotoneAcrossTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p50, p95, p99 := NewP2Quantile(0.50), NewP2Quantile(0.95), NewP2Quantile(0.99)
+	for i := 0; i < 20000; i++ {
+		x := rng.NormFloat64()
+		p50.Add(x)
+		p95.Add(x)
+		p99.Add(x)
+	}
+	if !(p50.Value() < p95.Value() && p95.Value() < p99.Value()) {
+		t.Fatalf("quantile estimates not ordered: p50=%v p95=%v p99=%v",
+			p50.Value(), p95.Value(), p99.Value())
+	}
+}
