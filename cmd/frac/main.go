@@ -56,6 +56,7 @@ type options struct {
 	learners string
 	scores   bool
 	f32      bool
+	explain  explainOptions
 
 	// obs is the run's telemetry recorder (nil unless a telemetry flag was
 	// given) and manifest carrier; limit is the shared instrumented compute
@@ -83,6 +84,9 @@ func main() {
 	flag.StringVar(&opt.learners, "learners", "paper", "paper (SVR+tree) | tree")
 	flag.BoolVar(&opt.scores, "scores", false, "print per-sample scores")
 	flag.BoolVar(&opt.f32, "float32-design", false, "store the masked-training design cache as float32 (~2x kernel bandwidth; scores match the float64 path within tolerance, not bit for bit)")
+	flag.IntVar(&opt.explain.top, "explain-top", 0, "emit JSONL attributions (top K features) for flagged samples; 0 = off")
+	flag.StringVar(&opt.explain.out, "explain-out", "", "JSONL destination for -explain-top output (default stdout)")
+	flag.Float64Var(&opt.explain.quantile, "explain-quantile", 0.95, "NS quantile at or above which a sample is flagged for explanation (labeled anomalies are always flagged)")
 	saveModel := flag.String("save-model", "", "train full FRaC on -train and save the model here")
 	loadModel := flag.String("load-model", "", "load a saved model and score -test")
 	driftRef := flag.String("drift-ref", "", "held-out normals TSV to capture the drift reference from (default: the training set)")
@@ -114,6 +118,9 @@ func main() {
 		"float32-design", strconv.FormatBool(opt.f32),
 		"drift-ref", *driftRef,
 		"no-drift-ref", strconv.FormatBool(*noDriftRef),
+		"explain-top", strconv.Itoa(opt.explain.top),
+		"explain-out", opt.explain.out,
+		"explain-quantile", strconv.FormatFloat(opt.explain.quantile, 'g', -1, 64),
 	)
 	opt.manifest.Float32Design = opt.f32
 	// When telemetry is on, run all term-level work through one instrumented
@@ -293,9 +300,19 @@ func loadAndScore(modelPath, testPath string, opt options) error {
 	}
 	opt.describeDataset(test.Name, test.NumFeatures(), test.NumSamples(), 0, test.NumSamples())
 	scores := make([]float64, test.NumSamples())
-	for i := range scores {
-		scores[i] = model.Score(test.Sample(i))
-		fmt.Printf("sample %d: NS=%.4f\n", i, scores[i])
+	if opt.explain.top > 0 {
+		// The explained pipeline produces the same totals bit for bit, and
+		// additionally emits JSONL attributions for every flagged sample.
+		if err := explainScoredModel(model, test, scores, opt.explain); err != nil {
+			return err
+		}
+	} else {
+		for i := range scores {
+			scores[i] = model.Score(test.Sample(i))
+		}
+	}
+	for i, v := range scores {
+		fmt.Printf("sample %d: NS=%.4f\n", i, v)
 	}
 	if test.Anomalous != nil {
 		fmt.Printf("AUC: %.4f\n", frac.AUC(scores, test.Anomalous))
@@ -331,6 +348,13 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 		}
 	}
 	var aucs []float64
+	var ew *explainWriter
+	if opt.explain.top > 0 {
+		if ew, err = newExplainWriter(opt.explain.out); err != nil {
+			return err
+		}
+		defer ew.Close()
+	}
 	for i, rep := range reps {
 		opt.obs.Annotate("replicate", strconv.Itoa(i))
 		tracker := resource.NewTracker()
@@ -339,9 +363,19 @@ func run(ctx context.Context, dataPath, trainPath, testPath string, replicates i
 		if opt.learners == "tree" {
 			cfg.Learners = frac.TreeLearnersDefault()
 		}
-		scores, err := runVariant(ctx, rep, opt, cfg)
+		res, scores, err := runVariant(ctx, rep, opt, cfg)
 		if err != nil {
 			return err
+		}
+		if ew != nil {
+			// Ensembles combine member scores without a per-term result, and
+			// JL results attribute in projected space where feature indices
+			// no longer name schema columns.
+			if res == nil || opt.variant == "jl" {
+				fmt.Fprintf(os.Stderr, "frac: -explain-top: variant %q does not retain original-feature term scores; no explanations emitted\n", opt.variant)
+			} else if err := explainResult(res, rep.Test, scores, i, opt.explain, ew); err != nil {
+				return err
+			}
 		}
 		cost := tracker.Stop()
 		opt.obs.SetAnalytic(cost.PeakBytes, cost.FinalBytes)
@@ -396,52 +430,57 @@ func loadReplicates(dataPath, trainPath, testPath string, n int, seed uint64, re
 	}
 }
 
-func runVariant(ctx context.Context, rep frac.Replicate, opt options, cfg frac.Config) ([]float64, error) {
+// runVariant runs the selected variant and returns its scores, plus the
+// per-term Result when the variant retains one (ensembles combine member
+// scores and do not, so explanations are unavailable there).
+func runVariant(ctx context.Context, rep frac.Replicate, opt options, cfg frac.Config) (*frac.Result, []float64, error) {
 	src := frac.NewRNG(opt.seed).Stream("variant")
 	switch opt.variant {
 	case "full":
 		res, err := frac.RunCtx(ctx, rep.Train, rep.Test, frac.FullTerms(rep.Train.NumFeatures()), cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	case "random-filter":
 		res, _, err := frac.RunFullFilteredCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	case "entropy-filter":
 		res, _, err := frac.RunFullFilteredCtx(ctx, rep.Train, rep.Test, frac.EntropyFilter, opt.p, src, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	case "partial-filter":
 		res, _, err := frac.RunPartialFilteredCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p, src, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	case "random-ensemble":
-		return frac.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p,
+		scores, err := frac.RunFilterEnsembleCtx(ctx, rep.Train, rep.Test, frac.RandomFilter, opt.p,
 			frac.EnsembleSpec{Members: opt.members}, src, cfg)
+		return nil, scores, err
 	case "diverse":
 		res, err := frac.RunDiverseCtx(ctx, rep.Train, rep.Test, opt.p, 1, src, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	case "diverse-ensemble":
-		return frac.RunDiverseEnsembleCtx(ctx, rep.Train, rep.Test, opt.p,
+		scores, err := frac.RunDiverseEnsembleCtx(ctx, rep.Train, rep.Test, opt.p,
 			frac.EnsembleSpec{Members: opt.members}, src, cfg)
+		return nil, scores, err
 	case "jl":
 		res, err := frac.RunJLCtx(ctx, rep.Train, rep.Test, frac.JLSpec{Dim: opt.dim}, src, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Scores, nil
+		return res, res.Scores, nil
 	default:
-		return nil, fmt.Errorf("unknown variant %q", opt.variant)
+		return nil, nil, fmt.Errorf("unknown variant %q", opt.variant)
 	}
 }

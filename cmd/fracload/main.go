@@ -14,9 +14,14 @@
 // sustained-throughput floor — clients never pile up unbounded queues the
 // way open-loop generators do.
 //
+// -explain K runs a second measured pass after the plain one with
+// "explain": K on every request, validating each response's attribution
+// schema and reporting explain-on p50/p99 next to the plain numbers — the
+// attribution path's overhead as a measured delta within one run.
+//
 // -bench-out merges the results into BENCH_results.json as the "serve"
 // exhibit (other sections are preserved); -min-qps and -max-p99 turn the run
-// into a pass/fail gate for CI.
+// into a pass/fail gate for CI (both apply to the explain pass too).
 package main
 
 import (
@@ -52,6 +57,7 @@ type options struct {
 	benchOut    string
 	rowsFrom    string
 	shift       float64
+	explain     int
 }
 
 func main() {
@@ -68,6 +74,7 @@ func main() {
 	flag.StringVar(&opt.benchOut, "bench-out", "", "merge results into this BENCH_results.json as the \"serve\" exhibit")
 	flag.StringVar(&opt.rowsFrom, "rows-from", "", "TSV dataset to replay rows from (normal rows only) instead of synthesizing")
 	flag.Float64Var(&opt.shift, "shift", 0, "add this constant to every real feature (covariate-shift injection)")
+	flag.IntVar(&opt.explain, "explain", 0, "after the plain pass, run a second measured pass requesting top-K attributions and validating their schema (0 = off)")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -97,8 +104,19 @@ type featureEntry struct {
 }
 
 type scoreDoc struct {
-	ModelHash string    `json:"model_hash"`
-	Scores    []float64 `json:"scores"`
+	ModelHash    string             `json:"model_hash"`
+	Scores       []float64          `json:"scores"`
+	Explanations [][]attributionDoc `json:"explanations"`
+}
+
+// attributionDoc mirrors the serve wire schema of one attribution entry.
+type attributionDoc struct {
+	Feature      string   `json:"feature"`
+	Orig         int      `json:"orig"`
+	Contribution float64  `json:"contribution"`
+	Observed     *float64 `json:"observed"`
+	Predicted    *float64 `json:"predicted"`
+	Terms        int      `json:"terms"`
 }
 
 // result is the measured outcome (and the BENCH_results.json exhibit).
@@ -119,6 +137,14 @@ type result struct {
 	P99Ms          float64 `json:"p99_ms"`
 	P999Ms         float64 `json:"p999_ms"`
 	MaxMs          float64 `json:"max_ms"`
+
+	// Explain-pass results, present only when -explain K > 0.
+	ExplainK        int     `json:"explain_k,omitempty"`
+	ExplainRequests int64   `json:"explain_requests,omitempty"`
+	ExplainErrors   int64   `json:"explain_errors,omitempty"`
+	ExplainQPS      float64 `json:"explain_qps,omitempty"`
+	ExplainP50Ms    float64 `json:"explain_p50_ms,omitempty"`
+	ExplainP99Ms    float64 `json:"explain_p99_ms,omitempty"`
 }
 
 func run(opt options) error {
@@ -168,7 +194,7 @@ func run(opt options) error {
 
 	// Pre-marshal a pool of request bodies so the hot loop measures the
 	// server, not the generator's JSON encoder.
-	bodies, err := buildBodies(target, opt)
+	bodies, err := buildBodies(target, opt, 0)
 	if err != nil {
 		return err
 	}
@@ -180,6 +206,109 @@ func run(opt options) error {
 	fmt.Printf("fracload: %d clients x %d rows/request for %v (after %v warmup)\n",
 		opt.concurrency, opt.rows, opt.duration, opt.warmup)
 
+	url := base + "/v1/score"
+	plain, err := measurePhase(client, url, bodies, opt, plainCheck(opt.rows))
+	if err != nil {
+		return err
+	}
+	res := plain.toResult(target, opt)
+	fmt.Printf("fracload: %d requests in %.2fs (%d errors)\n", res.Requests, res.DurationSecs, res.Errors)
+	fmt.Printf("fracload: %.0f req/s, %.0f rows/s\n", res.QPS, res.RowsPerSec)
+	fmt.Printf("fracload: latency p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms max=%.3fms\n",
+		res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms, res.MaxMs)
+
+	// Second measured pass with attribution capture: same rows, same
+	// clients, "explain": K on every request and full schema validation of
+	// every response — so the explain overhead is a measured delta between
+	// two phases of one run, not a guess.
+	if opt.explain > 0 {
+		explBodies, err := buildBodies(target, opt, opt.explain)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fracload: explain pass: top-%d attributions on every request\n", opt.explain)
+		expl, err := measurePhase(client, url, explBodies, opt, explainCheck(opt.rows, opt.explain))
+		if err != nil {
+			return fmt.Errorf("explain pass: %w", err)
+		}
+		res.ExplainK = opt.explain
+		res.ExplainRequests = expl.requests
+		res.ExplainErrors = expl.errors
+		res.ExplainQPS = expl.qps()
+		res.ExplainP50Ms = ms(quantile(expl.lats, 0.50))
+		res.ExplainP99Ms = ms(quantile(expl.lats, 0.99))
+		fmt.Printf("fracload: explain-on %.0f req/s, latency p50=%.3fms p99=%.3fms (overhead %+.1f%% p50 vs plain)\n",
+			res.ExplainQPS, res.ExplainP50Ms, res.ExplainP99Ms,
+			100*(res.ExplainP50Ms-res.P50Ms)/res.P50Ms)
+		if expl.errors > 0 {
+			return fmt.Errorf("explain pass: %d requests failed schema validation or scoring", expl.errors)
+		}
+	}
+
+	if opt.benchOut != "" {
+		if err := mergeExhibit(opt.benchOut, res); err != nil {
+			return err
+		}
+		fmt.Printf("fracload: serve exhibit written to %s\n", opt.benchOut)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d requests failed", res.Errors)
+	}
+	if opt.minQPS > 0 && res.QPS < opt.minQPS {
+		return fmt.Errorf("sustained %.0f QPS is below the -min-qps %.0f floor", res.QPS, opt.minQPS)
+	}
+	if opt.minQPS > 0 && opt.explain > 0 && res.ExplainQPS < opt.minQPS {
+		return fmt.Errorf("explain-on %.0f QPS is below the -min-qps %.0f floor", res.ExplainQPS, opt.minQPS)
+	}
+	if opt.maxP99 > 0 {
+		if ceiling := float64(opt.maxP99.Nanoseconds()) / 1e6; res.P99Ms > ceiling {
+			return fmt.Errorf("client p99 %.3fms exceeds the -max-p99 %v ceiling", res.P99Ms, opt.maxP99)
+		}
+		if ceiling := float64(opt.maxP99.Nanoseconds()) / 1e6; opt.explain > 0 && res.ExplainP99Ms > ceiling {
+			return fmt.Errorf("explain-on p99 %.3fms exceeds the -max-p99 %v ceiling", res.ExplainP99Ms, opt.maxP99)
+		}
+	}
+	return nil
+}
+
+// ms converts a duration to float milliseconds for reporting.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// phase is one measured closed-loop pass: request counts plus the sorted
+// client-side latencies of its successful requests.
+type phase struct {
+	requests int64
+	errors   int64
+	elapsed  time.Duration
+	lats     []time.Duration
+}
+
+func (p *phase) qps() float64 { return float64(p.requests) / p.elapsed.Seconds() }
+
+func (p *phase) toResult(target modelEntry, opt options) result {
+	return result{
+		Model:          target.Name,
+		ModelHash:      target.ModelHash,
+		Features:       len(target.Schema),
+		Terms:          target.Terms,
+		Concurrency:    opt.concurrency,
+		RowsPerRequest: opt.rows,
+		DurationSecs:   p.elapsed.Seconds(),
+		Requests:       p.requests,
+		Errors:         p.errors,
+		QPS:            p.qps(),
+		RowsPerSec:     float64(p.requests) * float64(opt.rows) / p.elapsed.Seconds(),
+		P50Ms:          ms(quantile(p.lats, 0.50)),
+		P90Ms:          ms(quantile(p.lats, 0.90)),
+		P99Ms:          ms(quantile(p.lats, 0.99)),
+		P999Ms:         ms(quantile(p.lats, 0.999)),
+		MaxMs:          ms(p.lats[len(p.lats)-1]),
+	}
+}
+
+// measurePhase runs one warmup + measured closed-loop pass over the body
+// pool, validating every response with check.
+func measurePhase(client *http.Client, url string, bodies [][]byte, opt options, check func(*scoreDoc) bool) (*phase, error) {
 	var (
 		measuring atomic.Bool
 		stop      atomic.Bool
@@ -188,7 +317,6 @@ func run(opt options) error {
 		wg        sync.WaitGroup
 	)
 	lats := make([][]time.Duration, opt.concurrency)
-	url := base + "/v1/score"
 	for w := 0; w < opt.concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -197,7 +325,7 @@ func run(opt options) error {
 			i := w % len(bodies)
 			for !stop.Load() {
 				start := time.Now()
-				ok := oneRequest(client, url, bodies[i], opt.rows)
+				ok := oneRequest(client, url, bodies[i], check)
 				lat := time.Since(start)
 				i++
 				if i == len(bodies) {
@@ -231,64 +359,72 @@ func run(opt options) error {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	if len(all) == 0 {
-		return errors.New("no successful requests (is fracserve up?)")
+		return nil, errors.New("no successful requests (is fracserve up?)")
 	}
-	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-	res := result{
-		Model:          target.Name,
-		ModelHash:      target.ModelHash,
-		Features:       len(target.Schema),
-		Terms:          target.Terms,
-		Concurrency:    opt.concurrency,
-		RowsPerRequest: opt.rows,
-		DurationSecs:   elapsed.Seconds(),
-		Requests:       requests.Load(),
-		Errors:         errorsN.Load(),
-		QPS:            float64(requests.Load()) / elapsed.Seconds(),
-		RowsPerSec:     float64(requests.Load()) * float64(opt.rows) / elapsed.Seconds(),
-		P50Ms:          ms(quantile(all, 0.50)),
-		P90Ms:          ms(quantile(all, 0.90)),
-		P99Ms:          ms(quantile(all, 0.99)),
-		P999Ms:         ms(quantile(all, 0.999)),
-		MaxMs:          ms(all[len(all)-1]),
-	}
-	fmt.Printf("fracload: %d requests in %.2fs (%d errors)\n", res.Requests, res.DurationSecs, res.Errors)
-	fmt.Printf("fracload: %.0f req/s, %.0f rows/s\n", res.QPS, res.RowsPerSec)
-	fmt.Printf("fracload: latency p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms max=%.3fms\n",
-		res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms, res.MaxMs)
+	return &phase{
+		requests: requests.Load(),
+		errors:   errorsN.Load(),
+		elapsed:  elapsed,
+		lats:     all,
+	}, nil
+}
 
-	if opt.benchOut != "" {
-		if err := mergeExhibit(opt.benchOut, res); err != nil {
-			return err
+// plainCheck validates a plain score response.
+func plainCheck(rows int) func(*scoreDoc) bool {
+	return func(doc *scoreDoc) bool {
+		return len(doc.Scores) == rows && doc.ModelHash != ""
+	}
+}
+
+// explainCheck validates an explained response against the attribution wire
+// schema: one attribution list per row, at most k entries each, contributions
+// finite and sorted descending, every entry naming a feature.
+func explainCheck(rows, k int) func(*scoreDoc) bool {
+	plain := plainCheck(rows)
+	return func(doc *scoreDoc) bool {
+		if !plain(doc) || len(doc.Explanations) != rows {
+			return false
 		}
-		fmt.Printf("fracload: serve exhibit written to %s\n", opt.benchOut)
-	}
-	if res.Errors > 0 {
-		return fmt.Errorf("%d requests failed", res.Errors)
-	}
-	if opt.minQPS > 0 && res.QPS < opt.minQPS {
-		return fmt.Errorf("sustained %.0f QPS is below the -min-qps %.0f floor", res.QPS, opt.minQPS)
-	}
-	if opt.maxP99 > 0 {
-		if ceiling := float64(opt.maxP99.Nanoseconds()) / 1e6; res.P99Ms > ceiling {
-			return fmt.Errorf("client p99 %.3fms exceeds the -max-p99 %v ceiling", res.P99Ms, opt.maxP99)
+		for _, attrs := range doc.Explanations {
+			if len(attrs) == 0 || len(attrs) > k {
+				return false
+			}
+			for j, a := range attrs {
+				if a.Feature == "" || math.IsNaN(a.Contribution) || math.IsInf(a.Contribution, 0) {
+					return false
+				}
+				if j > 0 && a.Contribution > attrs[j-1].Contribution {
+					return false
+				}
+			}
 		}
+		return true
 	}
-	return nil
 }
 
 // buildBodies pre-marshals the request-body pool, either replaying a dataset
-// or synthesizing schema-conforming rows.
-func buildBodies(target modelEntry, opt options) ([][]byte, error) {
+// or synthesizing schema-conforming rows. explain > 0 adds an "explain": K
+// field to every body so the same pool exercises the attribution path.
+func buildBodies(target modelEntry, opt options, explain int) ([][]byte, error) {
 	if opt.rowsFrom != "" {
-		return fileBodies(target, opt)
+		return fileBodies(target, opt, explain)
 	}
-	return synthBodies(target, opt), nil
+	return synthBodies(target, opt, explain), nil
+}
+
+// scoreBody assembles one request-body map, with the explain field only when
+// attributions are requested.
+func scoreBody(model string, rows any, explain int) map[string]any {
+	body := map[string]any{"model": model, "rows": rows}
+	if explain > 0 {
+		body["explain"] = explain
+	}
+	return body
 }
 
 // synthBodies pre-marshals a pool of score request bodies with
 // schema-conforming synthetic rows.
-func synthBodies(target modelEntry, opt options) [][]byte {
+func synthBodies(target modelEntry, opt options, explain int) [][]byte {
 	rng := rand.New(rand.NewSource(opt.seed))
 	const pool = 64
 	bodies := make([][]byte, pool)
@@ -305,7 +441,7 @@ func synthBodies(target modelEntry, opt options) [][]byte {
 			}
 			rows[r] = row
 		}
-		blob, err := json.Marshal(map[string]any{"model": target.Name, "rows": rows})
+		blob, err := json.Marshal(scoreBody(target.Name, rows, explain))
 		if err != nil {
 			panic(err) // finite floats always marshal
 		}
@@ -317,7 +453,7 @@ func synthBodies(target modelEntry, opt options) [][]byte {
 // fileBodies pre-marshals bodies that replay the normal rows of a TSV
 // dataset, cycling so every row appears. Missing values become JSON null
 // (the wire spelling of NaN) and -shift is applied to real features only.
-func fileBodies(target modelEntry, opt options) ([][]byte, error) {
+func fileBodies(target modelEntry, opt options, explain int) ([][]byte, error) {
 	d, err := frac.ReadDatasetFile(opt.rowsFrom)
 	if err != nil {
 		return nil, err
@@ -358,7 +494,7 @@ func fileBodies(target modelEntry, opt options) ([][]byte, error) {
 			}
 			rows[r] = row
 		}
-		blob, err := json.Marshal(map[string]any{"model": target.Name, "rows": rows})
+		blob, err := json.Marshal(scoreBody(target.Name, rows, explain))
 		if err != nil {
 			return nil, err
 		}
@@ -367,8 +503,9 @@ func fileBodies(target modelEntry, opt options) ([][]byte, error) {
 	return bodies, nil
 }
 
-// oneRequest performs one scoring round trip and sanity-checks the response.
-func oneRequest(client *http.Client, url string, body []byte, rows int) bool {
+// oneRequest performs one scoring round trip and validates the response with
+// the phase's check.
+func oneRequest(client *http.Client, url string, body []byte, check func(*scoreDoc) bool) bool {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return false
@@ -382,7 +519,7 @@ func oneRequest(client *http.Client, url string, body []byte, rows int) bool {
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return false
 	}
-	return len(doc.Scores) == rows && doc.ModelHash != ""
+	return check(&doc)
 }
 
 // quantile returns the q-quantile of sorted latencies (nearest-rank).

@@ -21,6 +21,16 @@
 //
 //	fracmetrics drift serve_journal.jsonl
 //	fracmetrics drift -expect drifting,retrain_recommended serve_journal.jsonl
+//
+// The explain subcommand replays the per-request attribution annotations that
+// fracserve journals for explained score requests and reports the cohort
+// story: per model, how often the explain path ran and which features recur
+// as top culprits — plus how well those culprits agree with the drift
+// monitor's top-shift features when alarms fired. -expect turns it into a CI
+// gate.
+//
+//	fracmetrics explain serve_journal.jsonl
+//	fracmetrics explain -expect exercised,agree serve_journal.jsonl
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -541,9 +552,246 @@ func cmdDrift(args []string) error {
 	return nil
 }
 
+// parseTopList parses the top=[feat:+0.123,...] encoding shared by the
+// explain and drift_alarm annotations into (feature, value) pairs in order.
+func parseTopList(s string) ([]string, []float64, error) {
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "["), "]")
+	if s == "" {
+		return nil, nil, nil
+	}
+	var feats []string
+	var vals []float64
+	for _, tok := range strings.Split(s, ",") {
+		i := strings.LastIndex(tok, ":")
+		if i < 0 {
+			return nil, nil, fmt.Errorf("top entry %q has no value", tok)
+		}
+		v, err := strconv.ParseFloat(tok[i+1:], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("top entry %q: %w", tok, err)
+		}
+		feats = append(feats, tok[:i])
+		vals = append(vals, v)
+	}
+	return feats, vals, nil
+}
+
+// culprit accumulates one feature's recurrence across explained requests.
+type culprit struct {
+	feature     string
+	appearances int64   // requests whose top list included it
+	leads       int64   // requests where it was the #1 culprit
+	sum         float64 // summed contribution over appearances
+}
+
+// explainModel accumulates one model's attribution story across journals.
+type explainModel struct {
+	name     string
+	requests int64
+	rows     int64
+	k        int
+	culprits map[string]*culprit
+	driftTop map[string]bool // features named in drift_alarm top-shift lists
+	alarms   int
+}
+
+// scanExplainJournal folds path's explain and drift_alarm annotations into
+// models (keyed by model name; order records first appearance).
+func scanExplainJournal(path string, models map[string]*explainModel, order *[]string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	get := func(name string) *explainModel {
+		m := models[name]
+		if m == nil {
+			m = &explainModel{name: name, culprits: map[string]*culprit{}, driftTop: map[string]bool{}}
+			models[name] = m
+			*order = append(*order, name)
+		}
+		return m
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev journalLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("%s: bad journal line: %w", path, err)
+		}
+		if ev.Type != "annotation" {
+			continue
+		}
+		fields := kvFields(ev.Value)
+		switch ev.Key {
+		case "explain":
+			m := get(fields["model"])
+			m.requests++
+			if n, err := strconv.ParseInt(fields["rows"], 10, 64); err == nil {
+				m.rows += n
+			}
+			if k, err := strconv.Atoi(fields["k"]); err == nil && k > m.k {
+				m.k = k
+			}
+			feats, vals, err := parseTopList(fields["top"])
+			if err != nil {
+				return fmt.Errorf("%s: explain annotation: %w", path, err)
+			}
+			for i, feat := range feats {
+				c := m.culprits[feat]
+				if c == nil {
+					c = &culprit{feature: feat}
+					m.culprits[feat] = c
+				}
+				c.appearances++
+				c.sum += vals[i]
+				if i == 0 {
+					c.leads++
+				}
+			}
+		case "drift_alarm":
+			m := get(fields["model"])
+			m.alarms++
+			feats, _, err := parseTopList(fields["top"])
+			if err != nil {
+				return fmt.Errorf("%s: drift_alarm annotation: %w", path, err)
+			}
+			for _, feat := range feats {
+				m.driftTop[feat] = true
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// cmdExplain reports the per-sample attribution story recorded in fracserve
+// journals: how often each model's explain path ran, which features recur as
+// top culprits, and whether those culprits agree with the drift monitor's
+// top-shift features. -expect gates the report for CI.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	topN := fs.Int("top", 8, "recurring culprits to print per model")
+	expect := fs.String("expect", "",
+		"comma-separated requirements, exit 2 if any is unmet: \"exercised\" (at least one explained request journaled), "+
+			"\"agree\" (every model that raised drift alarms shares a top culprit with its drift top-shift features), "+
+			"or a feature name that must appear among some model's recurring culprits")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics explain [-expect reqs] <journal.jsonl> [...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("explain needs at least one journal file")
+	}
+	models := map[string]*explainModel{}
+	var order []string
+	for _, path := range fs.Args() {
+		if err := scanExplainJournal(path, models, &order); err != nil {
+			return err
+		}
+	}
+
+	explained := int64(0)
+	seenFeature := map[string]bool{}
+	disagreeing := 0
+	for _, name := range order {
+		m := models[name]
+		explained += m.requests
+		if m.requests == 0 {
+			fmt.Printf("model %s: no explained requests (%d drift alarms)\n", name, m.alarms)
+			continue
+		}
+		fmt.Printf("model %s: %d explained requests, %d rows, k=%d\n", name, m.requests, m.rows, m.k)
+		ranked := make([]*culprit, 0, len(m.culprits))
+		for _, c := range m.culprits {
+			ranked = append(ranked, c)
+			seenFeature[c.feature] = true
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].appearances != ranked[j].appearances {
+				return ranked[i].appearances > ranked[j].appearances
+			}
+			if ranked[i].sum != ranked[j].sum {
+				return ranked[i].sum > ranked[j].sum
+			}
+			return ranked[i].feature < ranked[j].feature
+		})
+		shown := ranked
+		if *topN > 0 && *topN < len(shown) {
+			shown = shown[:*topN]
+		}
+		for _, c := range shown {
+			fmt.Printf("  %-24s in %5.1f%% of requests, leads %5.1f%%, mean %+.3f\n",
+				c.feature,
+				100*float64(c.appearances)/float64(m.requests),
+				100*float64(c.leads)/float64(m.requests),
+				c.sum/float64(c.appearances))
+		}
+		if m.alarms > 0 {
+			overlap := 0
+			var driftFeats []string
+			for feat := range m.driftTop {
+				driftFeats = append(driftFeats, feat)
+				if m.culprits[feat] != nil {
+					overlap++
+				}
+			}
+			sort.Strings(driftFeats)
+			fmt.Printf("  drift alarms: %d, top-shift features: %s, culprit agreement %d/%d\n",
+				m.alarms, strings.Join(driftFeats, ","), overlap, len(driftFeats))
+			if overlap == 0 && len(driftFeats) > 0 {
+				disagreeing++
+			}
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no explain or drift_alarm annotations found (was the server queried with \"explain\"?)")
+	}
+
+	unmet := 0
+	for _, req := range strings.Split(*expect, ",") {
+		req = strings.TrimSpace(req)
+		if req == "" {
+			continue
+		}
+		switch req {
+		case "exercised":
+			if explained == 0 {
+				fmt.Printf("fracmetrics: -expect exercised: no explained requests journaled\n")
+				unmet++
+			}
+		case "agree":
+			if explained == 0 {
+				fmt.Printf("fracmetrics: -expect agree: no explained requests journaled\n")
+				unmet++
+			} else if disagreeing > 0 {
+				fmt.Printf("fracmetrics: -expect agree: %d model(s) share no top culprit with their drift top-shift features\n", disagreeing)
+				unmet++
+			}
+		default:
+			if !seenFeature[req] {
+				fmt.Printf("fracmetrics: -expect %s: feature never appeared among the recurring culprits\n", req)
+				unmet++
+			}
+		}
+	}
+	if unmet > 0 {
+		return errRegression
+	}
+	if *expect != "" {
+		fmt.Printf("fracmetrics: explain expectations met (%s)\n", *expect)
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: fracmetrics <diff|check|drift> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fracmetrics <diff|check|drift|explain> [args]")
 		os.Exit(1)
 	}
 	var err error
@@ -554,8 +802,10 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "drift":
 		err = cmdDrift(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want diff, check, or drift)", os.Args[1])
+		err = fmt.Errorf("unknown subcommand %q (want diff, check, drift, or explain)", os.Args[1])
 	}
 	if err != nil {
 		if err == errRegression {

@@ -233,3 +233,114 @@ func TestFracDivide(t *testing.T) {
 		t.Errorf("frac(3, 4) = %v, want 0.75", got)
 	}
 }
+
+// writeJournalLines writes a JSONL journal fixture of annotation events.
+func writeJournalLines(t *testing.T, dir, name string, lines []string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var buf []byte
+	for _, l := range lines {
+		buf = append(buf, l...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func annotation(key, value string) string {
+	blob, _ := json.Marshal(map[string]any{"type": "annotation", "key": key, "value": value})
+	return string(blob)
+}
+
+// TestParseTopList: the shared top=[feat:+v,...] encoding round-trips,
+// including empty lists and malformed entries.
+func TestParseTopList(t *testing.T) {
+	feats, vals, err := parseTopList("[g1:+0.500,g2:-1.250]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 || feats[0] != "g1" || feats[1] != "g2" {
+		t.Errorf("features %v, want [g1 g2]", feats)
+	}
+	if vals[0] != 0.5 || vals[1] != -1.25 {
+		t.Errorf("values %v, want [0.5 -1.25]", vals)
+	}
+	if feats, _, err := parseTopList("[]"); err != nil || len(feats) != 0 {
+		t.Errorf("empty list: feats=%v err=%v", feats, err)
+	}
+	if _, _, err := parseTopList("[broken]"); err == nil {
+		t.Error("malformed entry did not error")
+	}
+}
+
+// TestScanExplainJournal: explain and drift_alarm annotations aggregate into
+// per-model culprit counts, lead counts, and drift top-shift sets.
+func TestScanExplainJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournalLines(t, dir, "j.jsonl", []string{
+		annotation("explain", "model=m rows=4 k=3 top=[g5:+2.000,g1:+1.000,g9:+0.250]"),
+		annotation("explain", "model=m rows=4 k=3 top=[g5:+1.500,g9:+0.500]"),
+		annotation("explain", "model=other rows=1 k=2 top=[h1:+0.100]"),
+		annotation("drift_alarm", "model=m window=3 from=healthy to=drifting trigger=psi psi=0.9 logm=1.2 top=[g5:+0.40,g7:-0.10]"),
+		`{"type":"progress","t_ns":1}`,
+	})
+	models := map[string]*explainModel{}
+	var order []string
+	if err := scanExplainJournal(path, models, &order); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "m" || order[1] != "other" {
+		t.Fatalf("order %v, want [m other]", order)
+	}
+	m := models["m"]
+	if m.requests != 2 || m.rows != 8 || m.k != 3 {
+		t.Errorf("m requests=%d rows=%d k=%d, want 2/8/3", m.requests, m.rows, m.k)
+	}
+	g5 := m.culprits["g5"]
+	if g5 == nil || g5.appearances != 2 || g5.leads != 2 || g5.sum != 3.5 {
+		t.Errorf("g5 = %+v, want appearances=2 leads=2 sum=3.5", g5)
+	}
+	if g1 := m.culprits["g1"]; g1 == nil || g1.appearances != 1 || g1.leads != 0 {
+		t.Errorf("g1 = %+v, want appearances=1 leads=0", g1)
+	}
+	if m.alarms != 1 || !m.driftTop["g5"] || !m.driftTop["g7"] {
+		t.Errorf("drift alarms=%d top=%v, want 1 alarm with g5,g7", m.alarms, m.driftTop)
+	}
+	if o := models["other"]; o.requests != 1 || o.alarms != 0 {
+		t.Errorf("other = %+v, want 1 request 0 alarms", o)
+	}
+}
+
+// TestCmdExplainExpectGate: the -expect requirements gate via errRegression —
+// exercised passes on a journal with explains, agree fails when a model's
+// drift top-shift features never appear among its culprits, and a feature
+// requirement matches culprits only.
+func TestCmdExplainExpectGate(t *testing.T) {
+	dir := t.TempDir()
+	agreeing := writeJournalLines(t, dir, "agree.jsonl", []string{
+		annotation("explain", "model=m rows=2 k=2 top=[g5:+2.000,g1:+1.000]"),
+		annotation("drift_alarm", "model=m window=1 from=healthy to=drifting trigger=psi psi=0.9 logm=1.2 top=[g5:+0.40]"),
+	})
+	disagreeing := writeJournalLines(t, dir, "disagree.jsonl", []string{
+		annotation("explain", "model=m rows=2 k=2 top=[g1:+1.000]"),
+		annotation("drift_alarm", "model=m window=1 from=healthy to=drifting trigger=psi psi=0.9 logm=1.2 top=[g7:-0.10]"),
+	})
+	empty := writeJournalLines(t, dir, "empty.jsonl", []string{
+		`{"type":"progress","t_ns":1}`,
+	})
+
+	if err := cmdExplain([]string{"-expect", "exercised,agree,g5", agreeing}); err != nil {
+		t.Errorf("agreeing journal: %v, want nil", err)
+	}
+	if err := cmdExplain([]string{"-expect", "agree", disagreeing}); !errors.Is(err, errRegression) {
+		t.Errorf("disagreeing journal: %v, want errRegression", err)
+	}
+	if err := cmdExplain([]string{"-expect", "g9", agreeing}); !errors.Is(err, errRegression) {
+		t.Errorf("missing feature: %v, want errRegression", err)
+	}
+	if err := cmdExplain([]string{empty}); err == nil {
+		t.Error("journal without annotations did not error")
+	}
+}

@@ -82,6 +82,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 1024, "pending requests beyond which /v1/score returns 503")
 		maxRows    = flag.Int("max-rows", 4096, "rows per score request limit")
 		maxBody    = flag.Int64("max-body-bytes", 8<<20, "request body size limit")
+		maxExplain = flag.Int("max-explain", 0, "per-request attribution depth limit for the \"explain\" field (0 = default 64)")
 		driftWin   = flag.Int("drift-window", 512, "served scores per drift comparison window")
 		noDrift    = flag.Bool("no-drift", false, "disable model-health drift monitoring")
 		models     modelList
@@ -94,6 +95,7 @@ func main() {
 	if err := run(*addr, models, serve.ServerConfig{
 		MaxRows:      *maxRows,
 		MaxBodyBytes: *maxBody,
+		MaxExplain:   *maxExplain,
 		Batcher: serve.BatcherConfig{
 			MaxBatch:   *maxBatch,
 			MaxWait:    *maxWait,
@@ -131,6 +133,7 @@ func run(addr string, models modelList, cfg serve.ServerConfig, tele obs.CLIFlag
 			"serve-workers", strconv.Itoa(cfg.Batcher.Workers),
 			"queue-depth", strconv.Itoa(cfg.Batcher.QueueDepth),
 			"max-rows", strconv.Itoa(cfg.MaxRows),
+			"max-explain", strconv.Itoa(cfg.MaxExplain),
 			"drift-window", strconv.Itoa(cfg.Drift.Window),
 			"no-drift", strconv.FormatBool(cfg.Drift.Disabled),
 		)

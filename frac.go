@@ -382,3 +382,30 @@ type ScoreWorkspace = core.ScoreWorkspace
 // NewScoreWorkspace returns an empty scoring workspace (buffers grow on
 // first use and are reused). Not safe for concurrent use — one per worker.
 func NewScoreWorkspace() *ScoreWorkspace { return core.NewScoreWorkspace() }
+
+// Attribution is one original feature's role in one sample's anomaly score:
+// its signed summed NS contribution, the observed value, and what the
+// feature's predictive model expected instead. Produced by
+// Model.ScoreRowsExplainedInto; ranked by the same ordering RankInfluence
+// uses, so per-sample and cohort "most influential" agree by construction.
+type Attribution = core.Attribution
+
+// ExplainWorkspace is the reusable scratch state of the per-sample
+// explanation path (Model.ScoreRowsExplainedInto): capture matrices plus
+// aggregation buffers that grow to the high-water batch shape and are
+// reused, so explained scoring is allocation-free in steady state. Not safe
+// for concurrent use — one per scoring worker.
+type ExplainWorkspace = core.ExplainWorkspace
+
+// NewExplainWorkspace returns an empty explanation workspace (buffers grow
+// on first use and are reused).
+func NewExplainWorkspace() *ExplainWorkspace { return core.NewExplainWorkspace() }
+
+// SampleAttributions computes one sample's top-k feature attribution from a
+// completed Run's per-term scores, with the same grouping and ordering as
+// the live explainer and RankInfluence. Observed and Predicted are NaN (the
+// per-term matrix does not retain them); callers holding the test set can
+// fill Observed from it. k <= 0 means all features.
+func SampleAttributions(res *Result, sample, k int) ([]Attribution, error) {
+	return core.SampleAttributions(res, sample, k)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"frac/internal/dataset"
+	"frac/internal/linalg"
+)
+
+// Per-sample attribution: the decision-observability half of the
+// interpretation layer. RankInfluence explains a cohort (which features
+// separate anomalies from controls on average); this file explains one row
+// (which features pushed THIS sample's NS up, by how much, and what the
+// model expected to see instead). Both aggregate terms into original
+// features through origGroups and rank with influenceLess, so the two
+// scales agree by construction. Capture piggybacks on the batch scoring
+// pass — contributions and predictions are recorded as they are computed,
+// never recomputed — which is what makes explained totals bit-identical to
+// the plain path.
+
+// Attribution is one original feature's role in one sample's NS score.
+type Attribution struct {
+	// Orig is the original-data-set feature index; Target is the index of
+	// the same feature in the model's working schema (equal for full
+	// models, which is the only kind that persists and serves).
+	Orig, Target int
+	// Contribution is the feature's signed summed NS contribution: the
+	// surprisal of the observed value under the feature's predictive model
+	// minus the entropy normalizer, summed over the feature's terms.
+	// Positive means "more anomalous than baseline".
+	Contribution float64
+	// Observed is the sample's value for the feature (dataset.Missing —
+	// NaN — when absent, in which case Contribution is pinned to 0).
+	Observed float64
+	// Predicted is what the feature's model expected given the rest of the
+	// sample: the raw regression output for continuous features, the
+	// predicted class label for categorical ones. For multi-predictor
+	// wirings it is the prediction of the group's largest-|contribution|
+	// term.
+	Predicted float64
+	// Terms is the number of NS summands aggregated into this attribution
+	// (1 for the paper's full wiring; >1 under multi-predictor wirings).
+	Terms int
+}
+
+// ExplainWorkspace is the reusable scratch state of ScoreRowsExplainedInto:
+// the per-term contribution and prediction capture matrices plus the
+// aggregation and selection buffers. Buffers grow to the high-water batch
+// shape and are reused, so explained scoring is allocation-free in steady
+// state. Like ScoreWorkspace it is NOT safe for concurrent use — give each
+// scoring worker its own. Attribution slices returned by Attributions are
+// views into the workspace, valid until the next explained scoring call.
+type ExplainWorkspace struct {
+	// Grouping of the owning model's terms, rebuilt only when the model
+	// changes (hot reload swaps the pointer).
+	forModel *Model
+	groupOf  []int32
+	origs    []int32
+	targets  []int32
+
+	contrib *linalg.Matrix // terms x rows: each term's NS contribution
+	preds   *linalg.Matrix // terms x rows: each term's raw prediction
+
+	// Per-group aggregation scratch, reset per row.
+	sum      []float64
+	bestAbs  []float64
+	bestPred []float64
+	cnt      []int32
+
+	rows int
+	k    int           // effective depth: min(requested k, distinct features)
+	attr []Attribution // rows x k, each row's window sorted by influenceLess
+}
+
+// NewExplainWorkspace returns an empty workspace; buffers are allocated on
+// first use and reused after that.
+func NewExplainWorkspace() *ExplainWorkspace { return &ExplainWorkspace{} }
+
+// Depth reports the effective attribution depth of the last explained
+// scoring call: the requested k clamped to the number of distinct original
+// features in the model's wiring.
+func (ew *ExplainWorkspace) Depth() int { return ew.k }
+
+// Attributions returns row i's top-Depth() attributions, ordered by
+// influenceLess (contribution descending, feature index ascending on ties).
+// The slice is workspace-owned scratch: valid until the next explained
+// scoring call, and must not be retained or mutated.
+func (ew *ExplainWorkspace) Attributions(i int) []Attribution {
+	return ew.attr[i*ew.k : (i+1)*ew.k]
+}
+
+// grow sizes the workspace for an explained pass of rows samples at depth k
+// and returns the capture matrices' term rows ready for scoreTermBatch.
+func (ew *ExplainWorkspace) grow(m *Model, rows, k int) {
+	if ew.forModel != m {
+		ew.groupOf, ew.origs, ew.targets = origGroups(termsOf(m.terms))
+		ew.forModel = m
+	}
+	if k > len(ew.origs) {
+		k = len(ew.origs)
+	}
+	ew.rows, ew.k = rows, k
+	ew.contrib = linalg.Resize(ew.contrib, len(m.terms), rows)
+	ew.preds = linalg.Resize(ew.preds, len(m.terms), rows)
+	g := len(ew.origs)
+	if cap(ew.sum) < g {
+		ew.sum = make([]float64, g)
+		ew.bestAbs = make([]float64, g)
+		ew.bestPred = make([]float64, g)
+		ew.cnt = make([]int32, g)
+	}
+	if cap(ew.attr) < rows*k {
+		ew.attr = make([]Attribution, rows*k)
+	}
+	ew.attr = ew.attr[:rows*k]
+}
+
+func termsOf(tms []termModel) []Term {
+	terms := make([]Term, len(tms))
+	for i := range tms {
+		terms[i] = tms[i].term
+	}
+	return terms
+}
+
+// finish aggregates the captured per-term matrices into each row's top-k
+// attribution window. Per row it is O(terms + features·k): one ascending
+// pass over the terms (so group sums accumulate in the same deterministic
+// order the totals did) and one insertion per group into the row's sorted
+// window — the zero-alloc partial sort.
+func (ew *ExplainWorkspace) finish(rows *linalg.Matrix) {
+	g := len(ew.origs)
+	sum, bestAbs, bestPred, cnt := ew.sum[:g], ew.bestAbs[:g], ew.bestPred[:g], ew.cnt[:g]
+	for s := 0; s < ew.rows; s++ {
+		for i := range sum {
+			sum[i], bestAbs[i], cnt[i] = 0, -1, 0
+		}
+		for ti, gi := range ew.groupOf {
+			c := ew.contrib.At(ti, s)
+			sum[gi] += c
+			cnt[gi]++
+			if a := abs(c); a > bestAbs[gi] {
+				bestAbs[gi] = a
+				bestPred[gi] = ew.preds.At(ti, s)
+			}
+		}
+		win := ew.attr[s*ew.k : (s+1)*ew.k]
+		n := 0
+		for gi := range sum {
+			orig := int(ew.origs[gi])
+			if n == ew.k && !influenceLess(sum[gi], orig, win[n-1].Contribution, win[n-1].Orig) {
+				continue
+			}
+			// Insertion position in the sorted window.
+			p := n
+			for p > 0 && influenceLess(sum[gi], orig, win[p-1].Contribution, win[p-1].Orig) {
+				p--
+			}
+			if n < ew.k {
+				n++
+			}
+			copy(win[p+1:n], win[p:n-1])
+			tgt := int(ew.targets[gi])
+			win[p] = Attribution{
+				Orig:         orig,
+				Target:       tgt,
+				Contribution: sum[gi],
+				Observed:     rows.At(s, tgt),
+				Predicted:    bestPred[gi],
+				Terms:        int(cnt[gi]),
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ScoreRowsExplainedInto is ScoreRowsInto with per-sample attribution
+// capture: out receives exactly the totals the plain path produces (bit
+// identical — the contributions are recorded, not recomputed), and ew's
+// Attributions(i) afterwards holds row i's top-k original features by
+// signed NS contribution. k is clamped to the number of distinct features;
+// k <= 0 or a nil ew degrades to plain scoring. Steady-state the call
+// performs zero allocations once both workspaces have grown to the batch
+// shape.
+func (m *Model) ScoreRowsExplainedInto(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace, ew *ExplainWorkspace, k int) error {
+	return m.ScoreRowsExplainedObserved(rows, out, ws, nil, ew, k)
+}
+
+// ScoreRowsExplainedObserved combines the per-term observation tap (drift
+// collection) with attribution capture; either may be nil. The observer
+// sees the same contribution slices that are summed into out and
+// aggregated into attributions, so all three surfaces agree exactly.
+func (m *Model) ScoreRowsExplainedObserved(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace, obs TermObserver, ew *ExplainWorkspace, k int) error {
+	return m.scoreRows(rows, out, ws, obs, ew, k)
+}
+
+// MissingObserved reports whether an attribution's Observed value was the
+// missing marker (NaN compares unequal to itself, so callers serializing
+// attributions need this predicate rather than ==).
+func (a Attribution) MissingObserved() bool { return dataset.IsMissing(a.Observed) }

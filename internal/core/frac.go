@@ -191,7 +191,8 @@ func TrainCtx(ctx context.Context, train *dataset.Dataset, terms []Term, cfg Con
 			defer cfg.Tracker.Release(dc.bytes())
 		}
 	}
-	err := parallel.ForWorkersWithStateErr(ctx, len(terms), cfg.Workers, cfg.Limit,
+	err := parallel.ForWorkersWithStateErr(parallel.WithPhaseLabel(ctx, "train"),
+		len(terms), cfg.Workers, cfg.Limit,
 		func(w int) *trainScratch { return &trainScratch{worker: w} },
 		func(ti int, sc *trainScratch) error {
 			var tm termModel
@@ -585,8 +586,12 @@ type scoreWorkspace struct {
 }
 
 // scoreTermBatch scores every test sample against term ti into row using the
-// batch prediction path.
-func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws *scoreWorkspace) {
+// batch prediction path. predCap, when non-nil, receives the term's raw
+// prediction for every row (the tree label as a float64 for categorical
+// terms) — including rows whose target is missing, where the contribution is
+// pinned to 0 but the prediction is still well defined. Capturing never
+// changes the contributions.
+func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws *scoreWorkspace, predCap []float64) {
 	tm := &m.terms[ti]
 	n := test.NumSamples()
 	ws.in = linalg.Resize(ws.in, n, len(tm.term.Inputs))
@@ -610,6 +615,11 @@ func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws 
 				row[s] = 0
 			}
 		}
+		if predCap != nil {
+			for s := 0; s < n; s++ {
+				predCap[s] = float64(labels[s])
+			}
+		}
 		return
 	}
 	if cap(ws.preds) < n {
@@ -623,6 +633,9 @@ func (m *Model) scoreTermBatch(ti int, test *dataset.Dataset, row []float64, ws 
 		} else {
 			row[s] = 0
 		}
+	}
+	if predCap != nil {
+		copy(predCap, preds)
 	}
 }
 
@@ -648,11 +661,12 @@ func (m *Model) ScoreDatasetCtx(ctx context.Context, test *dataset.Dataset) (*Sc
 	phase := m.cfg.Obs.Start(obs.PhaseScore)
 	defer phase.End()
 	m.cfg.Obs.AddPlanned(int64(len(m.terms)))
-	err := parallel.ForWorkersWithStateErr(ctx, len(m.terms), m.cfg.Workers, m.cfg.Limit,
+	err := parallel.ForWorkersWithStateErr(parallel.WithPhaseLabel(ctx, "score"),
+		len(m.terms), m.cfg.Workers, m.cfg.Limit,
 		func(w int) *scoreWorkspace { return &scoreWorkspace{worker: w} },
 		func(ti int, ws *scoreWorkspace) error {
 			span := m.cfg.Obs.StartSampledWorker(obs.PhaseTermScore, ws.worker)
-			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws) }
+			task := func() { m.scoreTermBatch(ti, test, ss.PerTerm.Row(ti), ws, nil) }
 			if m.cfg.Tracker != nil {
 				m.cfg.Tracker.TimeTask(task)
 			} else {

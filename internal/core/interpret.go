@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"frac/internal/stats"
@@ -26,6 +27,39 @@ type TermInfluence struct {
 	Delta float64
 }
 
+// origGroups maps a term wiring onto its original-feature groups: group g
+// collects every term whose Orig is the g-th distinct original feature, in
+// first-appearance order. Both attribution surfaces — the cohort influence
+// ranking below and the per-sample explainer (explain.go) — aggregate NS
+// summands through this one mapping, so a multi-predictor wiring sums the
+// same terms into the same feature on either path.
+func origGroups(terms []Term) (groupOf []int32, origs, targets []int32) {
+	groupOf = make([]int32, len(terms))
+	seen := make(map[int]int32, len(terms))
+	for ti, t := range terms {
+		g, ok := seen[t.Orig]
+		if !ok {
+			g = int32(len(origs))
+			seen[t.Orig] = g
+			origs = append(origs, int32(t.Orig))
+			targets = append(targets, int32(t.Target))
+		}
+		groupOf[ti] = g
+	}
+	return groupOf, origs, targets
+}
+
+// influenceLess is the shared ordering of every attribution surface: value
+// descending, original feature index ascending as the deterministic
+// tiebreak. Cohort influence ranking and per-sample top-k selection both
+// sort with it, so "most influential" means the same thing at both scales.
+func influenceLess(vi float64, oi int, vj float64, oj int) bool {
+	if vi != vj {
+		return vi > vj
+	}
+	return oi < oj
+}
+
 // RankInfluence ranks features by how strongly their terms separate
 // anomalous from control samples in a scored result. Terms sharing an
 // original feature (multi-predictor wirings, ensemble members would be
@@ -46,13 +80,13 @@ func RankInfluence(res *Result, anomalous []bool) ([]TermInfluence, error) {
 	if nA == 0 || nC == 0 {
 		return nil, fmt.Errorf("core: influence ranking needs both groups (have %d anomalous, %d control)", nA, nC)
 	}
-	byOrig := map[int]*TermInfluence{}
-	for ti, term := range res.Terms {
-		inf := byOrig[term.Orig]
-		if inf == nil {
-			inf = &TermInfluence{Orig: term.Orig}
-			byOrig[term.Orig] = inf
-		}
+	groupOf, origs, _ := origGroups(res.Terms)
+	out := make([]TermInfluence, len(origs))
+	for g, o := range origs {
+		out[g].Orig = int(o)
+	}
+	for ti := range res.Terms {
+		inf := &out[groupOf[ti]]
 		row := res.PerTerm.Row(ti)
 		for s, v := range row {
 			if anomalous[s] {
@@ -62,16 +96,11 @@ func RankInfluence(res *Result, anomalous []bool) ([]TermInfluence, error) {
 			}
 		}
 	}
-	out := make([]TermInfluence, 0, len(byOrig))
-	for _, inf := range byOrig {
-		inf.Delta = inf.MeanAnomalous - inf.MeanControl
-		out = append(out, *inf)
+	for g := range out {
+		out[g].Delta = out[g].MeanAnomalous - out[g].MeanControl
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Delta != out[j].Delta {
-			return out[i].Delta > out[j].Delta
-		}
-		return out[i].Orig < out[j].Orig
+		return influenceLess(out[i].Delta, out[i].Orig, out[j].Delta, out[j].Orig)
 	})
 	return out, nil
 }
@@ -89,6 +118,42 @@ func TopInfluential(res *Result, anomalous []bool, k int) ([]int, error) {
 	out := make([]int, k)
 	for i := 0; i < k; i++ {
 		out[i] = ranked[i].Orig
+	}
+	return out, nil
+}
+
+// SampleAttributions computes one sample's top-k feature attribution from a
+// scored result's per-term matrix, through the same origGroups grouping and
+// influenceLess ordering as RankInfluence and the live explainer
+// (explain.go): the contributions are bit-identical to what the explained
+// scoring path captures for the same rows. Observed and Predicted are NaN —
+// the per-term matrix does not retain them; callers holding the test set
+// fill Observed from it. k <= 0 or beyond the feature count means all
+// features.
+func SampleAttributions(res *Result, sample, k int) ([]Attribution, error) {
+	if sample < 0 || sample >= res.PerTerm.Cols {
+		return nil, fmt.Errorf("core: sample %d out of range (%d scored)", sample, res.PerTerm.Cols)
+	}
+	groupOf, origs, targets := origGroups(res.Terms)
+	out := make([]Attribution, len(origs))
+	for g := range out {
+		out[g] = Attribution{
+			Orig:      int(origs[g]),
+			Target:    int(targets[g]),
+			Observed:  math.NaN(),
+			Predicted: math.NaN(),
+		}
+	}
+	for ti := range res.Terms {
+		a := &out[groupOf[ti]]
+		a.Contribution += res.PerTerm.At(ti, sample)
+		a.Terms++
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return influenceLess(out[i].Contribution, out[i].Orig, out[j].Contribution, out[j].Orig)
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
 	}
 	return out, nil
 }

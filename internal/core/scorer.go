@@ -67,12 +67,27 @@ type TermObserver interface {
 // observing changes nothing about the scores: totals stay bit-identical to
 // the unobserved path. A nil obs is the plain scoring path.
 func (m *Model) ScoreRowsObserved(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace, obs TermObserver) error {
+	return m.scoreRows(rows, out, ws, obs, nil, 0)
+}
+
+// scoreRows is the one batch-scoring loop behind ScoreRowsInto,
+// ScoreRowsObserved, and ScoreRowsExplainedInto. When explanation is on
+// (ew non-nil, k > 0) each term's contributions are computed directly into
+// the capture matrix instead of the transient row buffer — same
+// computation, different destination — and its raw predictions are
+// recorded alongside; totals accumulate in ascending term order either
+// way, which is what keeps explained scores bit-identical to plain ones.
+func (m *Model) scoreRows(rows *linalg.Matrix, out []float64, ws *ScoreWorkspace, obs TermObserver, ew *ExplainWorkspace, k int) error {
 	if rows.Cols != len(m.schema) {
 		return fmt.Errorf("core: rows have %d features, model expects %d", rows.Cols, len(m.schema))
 	}
 	n := rows.Rows
 	if len(out) != n {
 		return fmt.Errorf("core: %d output slots for %d rows", len(out), n)
+	}
+	capture := ew != nil && k > 0
+	if capture {
+		ew.grow(m, n, k)
 	}
 	d := dataset.Dataset{Name: "rows", Schema: m.schema, X: rows}
 	for i := range out {
@@ -83,13 +98,20 @@ func (m *Model) ScoreRowsObserved(rows *linalg.Matrix, out []float64, ws *ScoreW
 	}
 	row := ws.row[:n]
 	for ti := range m.terms {
-		m.scoreTermBatch(ti, &d, row, &ws.ws)
-		if obs != nil {
-			obs.ObserveTerm(ti, row)
+		dst, predCap := row, []float64(nil)
+		if capture {
+			dst, predCap = ew.contrib.Row(ti), ew.preds.Row(ti)
 		}
-		for s, v := range row {
+		m.scoreTermBatch(ti, &d, dst, &ws.ws, predCap)
+		if obs != nil {
+			obs.ObserveTerm(ti, dst)
+		}
+		for s, v := range dst {
 			out[s] += v
 		}
+	}
+	if capture {
+		ew.finish(rows)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,7 +176,7 @@ func ForWorkersWithStateErr[S any](ctx context.Context, n, workers int, limit *L
 		stop.Store(true)
 	}
 	done := ctx.Done()
-	body := func(w int) {
+	body := func(w int, lctx context.Context) {
 		// newState runs under the same recovery as fn: a panicking state
 		// constructor must not kill the process either.
 		var state S
@@ -183,6 +184,7 @@ func ForWorkersWithStateErr[S any](ctx context.Context, n, workers int, limit *L
 			fail(err)
 			return
 		}
+		block := -1
 		for {
 			if stop.Load() {
 				return
@@ -196,6 +198,14 @@ func ForWorkersWithStateErr[S any](ctx context.Context, n, workers int, limit *L
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
+			}
+			// Refresh the frac_block profile label when the claimed index
+			// crosses into a new 64-index block, so CPU samples localize to
+			// regions of the work list. Observation only — never affects
+			// which index runs where.
+			if b := i / labelBlockSize; b != block {
+				block = b
+				pprof.SetGoroutineLabels(pprof.WithLabels(lctx, pprof.Labels(BlockLabelKey, smallInt(b))))
 			}
 			if limit != nil {
 				if err := limit.Acquire(ctx); err != nil {
@@ -213,8 +223,17 @@ func ForWorkersWithStateErr[S any](ctx context.Context, n, workers int, limit *L
 			}
 		}
 	}
+	// pprof.Do scopes the worker-index label (merged with any frac_phase
+	// label already on ctx) and restores the goroutine's previous labels on
+	// return — essential on the workers==1 path, which borrows the caller's
+	// goroutine.
+	labeled := func(w int) {
+		pprof.Do(ctx, pprof.Labels(WorkerLabelKey, smallInt(w)), func(lctx context.Context) {
+			body(w, lctx)
+		})
+	}
 	if workers == 1 {
-		body(0)
+		labeled(0)
 		return firstErr
 	}
 	var wg sync.WaitGroup
@@ -222,7 +241,7 @@ func ForWorkersWithStateErr[S any](ctx context.Context, n, workers int, limit *L
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			body(w)
+			labeled(w)
 		}(w)
 	}
 	wg.Wait()

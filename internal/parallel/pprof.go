@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// CPU-profile attribution for the worker pools. Every fan-out labels its
+// worker goroutines with the pipeline phase ("frac_phase", attached to the
+// context by the caller via WithPhaseLabel), the worker index
+// ("frac_worker"), and the 64-index block of work being processed
+// ("frac_block"), so profiles collected via -pprof-cpu or /debug/pprof
+// break samples down by phase → worker → region of the term list instead
+// of one flat parallel.ForWorkersWithStateErr frame. Labels only observe:
+// they never change scheduling, and the per-block refresh costs one small
+// label-set allocation per 64 work items per worker.
+
+// PhaseLabelKey, WorkerLabelKey, and BlockLabelKey are the pprof label keys
+// the pools attach; profile tooling filters on them (e.g.
+// `go tool pprof -tagfocus frac_phase=train`).
+const (
+	PhaseLabelKey  = "frac_phase"
+	WorkerLabelKey = "frac_worker"
+	BlockLabelKey  = "frac_block"
+)
+
+// labelBlockSize is the work-index granularity of the frac_block label: one
+// label value per 64 consecutive indices keeps the refresh cost negligible
+// while still localizing hot regions of a many-thousand-term wiring.
+const labelBlockSize = 64
+
+// WithPhaseLabel returns ctx tagged with the frac_phase pprof label. Pass
+// the result into a fan-out (or pprof.Do) and every CPU sample taken inside
+// carries the phase. Nil ctx means Background.
+func WithPhaseLabel(ctx context.Context, phase string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return pprof.WithLabels(ctx, pprof.Labels(PhaseLabelKey, phase))
+}
+
+// smallInts pre-renders the label values for worker and block indices so
+// steady-state label refreshes never format integers.
+var smallInts = func() (s [256]string) {
+	for i := range s {
+		s[i] = strconv.Itoa(i)
+	}
+	return s
+}()
+
+func smallInt(i int) string {
+	if i >= 0 && i < len(smallInts) {
+		return smallInts[i]
+	}
+	return strconv.Itoa(i)
+}
+
+// LabelWorker permanently tags the calling goroutine with a phase and
+// worker index (merged over ctx's existing labels). It is for
+// goroutine-per-worker loops that live until their goroutine exits — the
+// serve batcher workers — where scoped pprof.Do nesting has nothing to
+// restore to. Fan-outs that run on borrowed goroutines must use the scoped
+// labeling inside ForWorkersWithStateErr instead.
+func LabelWorker(ctx context.Context, phase string, worker int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels(
+		PhaseLabelKey, phase, WorkerLabelKey, smallInt(worker))))
+}

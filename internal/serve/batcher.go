@@ -10,6 +10,7 @@ import (
 	"frac/internal/core"
 	"frac/internal/drift"
 	"frac/internal/linalg"
+	"frac/internal/parallel"
 )
 
 // The micro-batching queue: concurrent score requests coalesce into batches
@@ -86,9 +87,11 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 // whole batch must share (the Handle pins its current runtime) and report
 // it, so every response can be stamped with the exact model that scored it.
 // col is the worker's drift collector; implementations without drift
-// monitoring ignore it (it may be nil).
+// monitoring ignore it (it may be nil). ew and k carry the batch's
+// attribution capture (nil / 0 when no request in the batch asked for an
+// explanation); capture must never change the scores.
 type Scorer interface {
-	ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector) (*Runtime, error)
+	ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector, ew *core.ExplainWorkspace, k int) (*Runtime, error)
 }
 
 // request is one queued submission. Requests are pooled; the done channel
@@ -96,10 +99,15 @@ type Scorer interface {
 // by a cancelled Submit is never returned to the pool, so a late worker
 // signal can never leak into a reused instance.
 type request struct {
-	ctx  context.Context
-	rows *linalg.Matrix // caller-owned; read until done is signalled
-	out  []float64      // caller-owned; scores land here before done
-	rt   *Runtime       // runtime that scored the batch (nil on error)
+	ctx     context.Context
+	rows    *linalg.Matrix // caller-owned; read until done is signalled
+	out     []float64      // caller-owned; scores land here before done
+	explain int            // requested attribution depth; 0 = plain scoring
+	// attr is the caller-owned per-row attribution destination (len ==
+	// rows.Rows when explain > 0): the flushing worker appends each row's
+	// top-explain attributions into attr[i] before signalling done.
+	attr [][]core.Attribution
+	rt   *Runtime // runtime that scored the batch (nil on error)
 	err  error
 	done chan struct{}
 }
@@ -130,7 +138,7 @@ func NewBatcher(scorer Scorer, cfg BatcherConfig) *Batcher {
 	}
 	b.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go b.worker()
+		go b.worker(i)
 	}
 	return b
 }
@@ -144,11 +152,29 @@ func (b *Batcher) Depth() int { return len(b.reqs) }
 // it returns the runtime that scored the batch. Steady state a Submit
 // performs zero allocations.
 func (b *Batcher) Submit(ctx context.Context, rows *linalg.Matrix, out []float64) (*Runtime, error) {
+	return b.SubmitExplained(ctx, rows, out, nil, 0)
+}
+
+// SubmitExplained is Submit with per-row attribution capture: when k > 0,
+// attr must have one (possibly nil) slot per row, and the flushing worker
+// fills attr[i] with row i's top-k attributions (fewer when the model has
+// fewer distinct features) before the call returns. Like out, attr is
+// caller-owned but written by the worker — a caller whose context was
+// cancelled must abandon it. k <= 0 is exactly Submit, including its
+// zero-allocation steady state.
+func (b *Batcher) SubmitExplained(ctx context.Context, rows *linalg.Matrix, out []float64, attr [][]core.Attribution, k int) (*Runtime, error) {
 	if rows.Rows == 0 || rows.Rows != len(out) {
 		return nil, errors.New("serve: submit needs rows and exactly one output slot per row")
 	}
+	if k > 0 && len(attr) != rows.Rows {
+		return nil, errors.New("serve: explained submit needs one attribution slot per row")
+	}
+	if k <= 0 {
+		k, attr = 0, nil
+	}
 	req := b.reqPool.Get().(*request)
 	req.ctx, req.rows, req.out, req.rt, req.err = ctx, rows, out, nil, nil
+	req.explain, req.attr = k, attr
 
 	// The enqueue is non-blocking and happens under the read lock, so Close
 	// (which closes the channel under the write lock) can never race a send.
@@ -183,6 +209,7 @@ func (b *Batcher) Submit(ctx context.Context, rows *linalg.Matrix, out []float64
 
 func (b *Batcher) put(req *request) {
 	req.ctx, req.rows, req.out, req.rt, req.err = nil, nil, nil, nil, nil
+	req.explain, req.attr = 0, nil
 	b.reqPool.Put(req)
 }
 
@@ -207,13 +234,17 @@ func (b *Batcher) Close() {
 type workerState struct {
 	ws      *core.ScoreWorkspace
 	col     *drift.Collector
+	ew      *core.ExplainWorkspace // lazily created on the first explained flush
 	pending []*request
 	batch   *linalg.Matrix
 	totals  []float64
 }
 
-func (b *Batcher) worker() {
+func (b *Batcher) worker(index int) {
 	defer b.wg.Done()
+	// The worker goroutine lives until Close; tag it once so CPU profiles
+	// attribute flush time to the serve phase per worker.
+	parallel.LabelWorker(context.Background(), "serve_flush", index)
 	w := &workerState{ws: core.NewScoreWorkspace(), col: drift.NewCollector()}
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
@@ -275,12 +306,35 @@ func (b *Batcher) flush(w *workerState, reason int) {
 		return
 	}
 
+	// A coalesced batch is captured once at the deepest depth any of its
+	// requests asked for; each request then takes the prefix of its rows'
+	// sorted attribution windows (the top-k of a deeper capture IS the
+	// shallower capture). Plain batches pass ew nil, keeping the explain-off
+	// flush allocation-free.
+	maxK := 0
+	for _, req := range w.pending {
+		if req.explain > maxK {
+			maxK = req.explain
+		}
+	}
+	ew := w.ew
+	if maxK > 0 && ew == nil {
+		w.ew = core.NewExplainWorkspace()
+		ew = w.ew
+	}
+	if maxK == 0 {
+		ew = nil
+	}
+
 	var rt *Runtime
 	var err error
 	if live == 1 {
 		// Single-request batch: score the caller's matrix in place.
 		req := w.pending[0]
-		rt, err = b.scorer.ScoreBatch(req.rows, req.out, w.ws, w.col)
+		rt, err = b.scorer.ScoreBatch(req.rows, req.out, w.ws, w.col, ew, maxK)
+		if err == nil && req.explain > 0 {
+			copyAttributions(req, ew, 0)
+		}
 		b.finish(w.pending, rt, err, reason, req.rows.Rows)
 		return
 	}
@@ -314,15 +368,32 @@ func (b *Batcher) flush(w *workerState, reason int) {
 		same = append(same, req)
 	}
 	w.pending = same
-	rt, err = b.scorer.ScoreBatch(w.batch, totals, w.ws, w.col)
+	rt, err = b.scorer.ScoreBatch(w.batch, totals, w.ws, w.col, ew, maxK)
 	if err == nil {
 		off = 0
 		for _, req := range w.pending {
 			copy(req.out, totals[off:off+req.rows.Rows])
+			if req.explain > 0 {
+				copyAttributions(req, ew, off)
+			}
 			off += req.rows.Rows
 		}
 	}
 	b.finish(w.pending, rt, err, reason, n)
+}
+
+// copyAttributions fills one request's attribution slots from the worker's
+// capture of the whole batch, starting at the request's row offset. The
+// request may have asked for a shallower depth than the batch was captured
+// at; its rows take the prefix of each sorted window.
+func copyAttributions(req *request, ew *core.ExplainWorkspace, off int) {
+	k := req.explain
+	if d := ew.Depth(); d < k {
+		k = d
+	}
+	for i := range req.attr {
+		req.attr[i] = append(req.attr[i][:0], ew.Attributions(off+i)[:k]...)
+	}
 }
 
 // finish stamps the outcome on every request, signals them, and records the

@@ -25,7 +25,7 @@ type fakeScorer struct {
 	rows    int
 }
 
-func (f *fakeScorer) ScoreBatch(rows *linalg.Matrix, out []float64, _ *core.ScoreWorkspace, _ *drift.Collector) (*Runtime, error) {
+func (f *fakeScorer) ScoreBatch(rows *linalg.Matrix, out []float64, _ *core.ScoreWorkspace, _ *drift.Collector, _ *core.ExplainWorkspace, _ int) (*Runtime, error) {
 	if f.delay > 0 {
 		time.Sleep(f.delay)
 	}

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"testing"
+
+	"frac/internal/core"
 )
 
 // BenchmarkServeScore measures the serving hot path gated by benchguard: one
@@ -28,6 +30,35 @@ func BenchmarkServeScore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := q.Submit(ctx, rows, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeScoreExplain measures the explained hot path: the same
+// one-row submission as BenchmarkServeScore, but with top-4 attribution
+// capture threaded through the flush. The delta against BenchmarkServeScore
+// is the per-request cost of explanations.
+func BenchmarkServeScoreExplain(b *testing.B) {
+	path := testModelFile(b, 42)
+	h, err := NewHandle("m", path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := NewBatcher(h, BatcherConfig{MaxBatch: 8, MaxWait: 0, Workers: 1})
+	defer q.Close()
+
+	rows := testProbeRows(1)
+	out := make([]float64, 1)
+	attr := make([][]core.Attribution, 1)
+	ctx := context.Background()
+	if _, err := q.SubmitExplained(ctx, rows, out, attr, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.SubmitExplained(ctx, rows, out, attr, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -113,7 +113,7 @@ func TestServeScoresBitIdenticalWithMonitor(t *testing.T) {
 			}
 			sub := linalg.NewMatrix(hi-lo, probe.Cols)
 			copy(sub.Data, probe.Data[lo*probe.Cols:hi*probe.Cols])
-			if _, err := h.ScoreBatch(sub, got[lo:hi], ws, col); err != nil {
+			if _, err := h.ScoreBatch(sub, got[lo:hi], ws, col, nil, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -144,11 +144,11 @@ func TestServeDriftScoreBatchZeroAllocs(t *testing.T) {
 	out := make([]float64, probe.Rows)
 	ws := core.NewScoreWorkspace()
 	col := drift.NewCollector()
-	if _, err := h.ScoreBatch(probe, out, ws, col); err != nil { // warm up
+	if _, err := h.ScoreBatch(probe, out, ws, col, nil, 0); err != nil { // warm up
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := h.ScoreBatch(probe, out, ws, col); err != nil {
+		if _, err := h.ScoreBatch(probe, out, ws, col, nil, 0); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -428,7 +428,7 @@ func BenchmarkServeScoreDrift(b *testing.B) {
 	col := drift.NewCollector()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.ScoreBatch(probe, out, ws, col); err != nil {
+		if _, err := h.ScoreBatch(probe, out, ws, col, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

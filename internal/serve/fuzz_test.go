@@ -30,6 +30,14 @@ func FuzzScoreRequest(f *testing.F) {
 		`{"rows":[[0.1,0.2,0.3,1,0],[0.1,0.2,0.3,1,0],[0.1,0.2,0.3,1,0]]}`,
 		`{"rows":[[` + strings.Repeat("1,", 5000) + `1]]}`,
 		`{"rows":` + strings.Repeat(`[`, 200) + strings.Repeat(`]`, 200) + `}`,
+		`{"rows":[[0.1,0.2,0.3,1,0]],"explain":4}`,
+		`{"model":"m","rows":[[0.1,-5,0.3,1,0]],"explain":2}`,
+		`{"rows":[[0.1,0.2,0.3,1,0]],"explain":-1}`,
+		`{"rows":[[0.1,0.2,0.3,1,0]],"explain":100000}`,
+		`{"rows":[[0.1,0.2,0.3,1,0]],"explain":1.5}`,
+		`{"rows":[[0.1,0.2,0.3,1,0]],"explain":"x"}`,
+		`{"rows":[[1e300,-1e300,0,1,0]],"explain":3}`,
+		`{"rows":[[0.1,null,0.3,1,0]],"explain":5}`,
 		`{"rows":[[0.1,0.2,0.3,1,0]]`,
 		`[[0.1,0.2,0.3,1,0]]`,
 		`{"rows":"x"}`,

@@ -126,6 +126,10 @@ type ModelMetrics struct {
 	rowsScored atomic.Int64
 	queuePeak  atomic.Int64
 
+	explainReqs  atomic.Int64
+	explainRows  atomic.Int64
+	explainDepth histo // requested attribution depth k per explain request
+
 	// Drift, when set, supplies the model's current drift snapshot per
 	// scrape (nil when the model is unmonitored).
 	Drift func() *drift.Snapshot
@@ -144,6 +148,16 @@ func (m *ModelMetrics) observeFlush(reason, rows, reqs int, ok bool) {
 	} else {
 		m.flushErrs.Add(1)
 	}
+}
+
+// observeExplain records one served explain request (k > 0) and its rows.
+func (m *ModelMetrics) observeExplain(k, rows int) {
+	if m == nil {
+		return
+	}
+	m.explainReqs.Add(1)
+	m.explainRows.Add(int64(rows))
+	m.explainDepth.observe(int64(k))
 }
 
 // observeQueueDepth tracks the pending-queue high-water mark.
@@ -165,6 +179,11 @@ func (m *ModelMetrics) observeQueueDepth(d int) {
 type Metrics struct {
 	requests [numEndpoints][numCodeClasses]atomic.Int64
 	latency  [numEndpoints]histo // request wall time, ns
+
+	// scoreSplit separates /v1/score wall time by whether the request asked
+	// for explanations (index 1) or not (index 0), so the attribution
+	// overhead is directly readable from one scrape instead of inferred.
+	scoreSplit [2]histo
 
 	mu       sync.Mutex
 	perModel map[string]*ModelMetrics
@@ -215,6 +234,19 @@ func (m *Metrics) observeRequest(ep endpoint, status int, ns int64) {
 	m.latency[ep].observe(ns)
 }
 
+// observeScoreSplit records one completed /v1/score request into the
+// explain-on or explain-off latency histogram.
+func (m *Metrics) observeScoreSplit(explained bool, ns int64) {
+	if m == nil {
+		return
+	}
+	i := 0
+	if explained {
+		i = 1
+	}
+	m.scoreSplit[i].observe(ns)
+}
+
 // Families renders the frac_serve_* exposition families.
 func (m *Metrics) Families() []obs.MetricFamily {
 	if m == nil {
@@ -251,6 +283,20 @@ func (m *Metrics) Families() []obs.MetricFamily {
 			obs.TypeHistogram, m.latency[ep].samples(1e-9)...)
 	}
 
+	var splitSamples []obs.MetricSample
+	for i, onOff := range [2]string{"off", "on"} {
+		if m.scoreSplit[i].count.Load() == 0 {
+			continue
+		}
+		splitSamples = append(splitSamples,
+			m.scoreSplit[i].samples(1e-9, obs.Label{Name: "explain", Value: onOff})...)
+	}
+	if splitSamples != nil {
+		add("frac_serve_explain_latency_seconds",
+			"/v1/score wall time split by attribution capture (explain=on|off).",
+			obs.TypeHistogram, splitSamples...)
+	}
+
 	models := m.models()
 	mlabel := func(mm *ModelMetrics, more ...obs.Label) []obs.Label {
 		out := make([]obs.Label, 0, 1+len(more))
@@ -258,9 +304,18 @@ func (m *Metrics) Families() []obs.MetricFamily {
 		return append(out, more...)
 	}
 	var batchRows, batchReqs, flushSamples, flushErrSamples, rowsScoredSamples, peakSamples []obs.MetricSample
+	var explainReqSamples, explainRowSamples, explainDepthSamples []obs.MetricSample
 	for _, mm := range models {
 		batchRows = append(batchRows, mm.batchRows.samples(1, obs.Label{Name: "model", Value: mm.model})...)
 		batchReqs = append(batchReqs, mm.batchReqs.samples(1, obs.Label{Name: "model", Value: mm.model})...)
+		explainReqSamples = append(explainReqSamples,
+			obs.MetricSample{Labels: mlabel(mm), Value: float64(mm.explainReqs.Load())})
+		explainRowSamples = append(explainRowSamples,
+			obs.MetricSample{Labels: mlabel(mm), Value: float64(mm.explainRows.Load())})
+		if mm.explainDepth.count.Load() > 0 {
+			explainDepthSamples = append(explainDepthSamples,
+				mm.explainDepth.samples(1, obs.Label{Name: "model", Value: mm.model})...)
+		}
 		for r := 0; r < numFlushReasons; r++ {
 			if v := mm.flushes[r].Load(); v > 0 {
 				flushSamples = append(flushSamples, obs.MetricSample{
@@ -290,6 +345,15 @@ func (m *Metrics) Families() []obs.MetricFamily {
 		"Rows scored through the batcher.", obs.TypeCounter, rowsScoredSamples...)
 	add("frac_serve_queue_depth_peak",
 		"Pending-queue high-water mark.", obs.TypeGauge, peakSamples...)
+	add("frac_serve_explain_requests_total",
+		"Score requests served with attribution capture (explain > 0).",
+		obs.TypeCounter, explainReqSamples...)
+	add("frac_serve_explain_rows_total",
+		"Rows whose attributions were captured and returned.",
+		obs.TypeCounter, explainRowSamples...)
+	add("frac_serve_explain_depth",
+		"Requested attribution depth k per explain request (power-of-two buckets).",
+		obs.TypeHistogram, explainDepthSamples...)
 	depth := 0
 	if m.QueueDepth != nil {
 		depth = m.QueueDepth()

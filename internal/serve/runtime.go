@@ -177,20 +177,23 @@ func (h *Handle) Reload() (rt *Runtime, changed bool, err error) {
 // a drift monitor and the worker supplied a collector, the batch is scored
 // through the observed path — the observer sees exactly the contributions
 // that are summed, so scores stay bit-identical — and its totals plus
-// per-term sums are folded into the monitor.
-func (h *Handle) ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector) (*Runtime, error) {
+// per-term sums are folded into the monitor. ew/k thread the batch's
+// attribution capture through the same pass (nil/0 for plain batches);
+// capture is another pure observation, so drift, explanations, and scores
+// all come from one set of contributions.
+func (h *Handle) ScoreBatch(rows *linalg.Matrix, out []float64, ws *core.ScoreWorkspace, col *drift.Collector, ew *core.ExplainWorkspace, k int) (*Runtime, error) {
 	rt := h.cur.Load()
 	mon := h.mon.Load()
-	if mon == nil || col == nil {
-		if err := rt.ScoreInto(rows, out, ws); err != nil {
-			return nil, err
-		}
-		return rt, nil
+	var obs core.TermObserver
+	if mon != nil && col != nil {
+		col.Reset(rt.NumTerms())
+		obs = col
 	}
-	col.Reset(rt.NumTerms())
-	if err := rt.model.ScoreRowsObserved(rows, out, ws, col); err != nil {
+	if err := rt.model.ScoreRowsExplainedObserved(rows, out, ws, obs, ew, k); err != nil {
 		return nil, err
 	}
-	mon.Record(out, col)
+	if obs != nil {
+		mon.Record(out, col)
+	}
 	return rt, nil
 }

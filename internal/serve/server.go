@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"frac/internal/core"
 	"frac/internal/dataset"
 	"frac/internal/drift"
 	"frac/internal/linalg"
@@ -36,6 +37,10 @@ type ServerConfig struct {
 	MaxRows int
 	// MaxBodyBytes bounds the request body; <= 0 selects 8 MiB.
 	MaxBodyBytes int64
+	// MaxExplain bounds the per-request attribution depth ("explain" field);
+	// <= 0 selects 64. Depth is also clamped to the model's feature count,
+	// so the bound only caps response size, never correctness.
+	MaxExplain int
 	// Batcher configures the per-model micro-batching queue.
 	Batcher BatcherConfig
 	// Metrics, when non-nil, receives request accounting and is also wired
@@ -65,6 +70,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxExplain <= 0 {
+		c.MaxExplain = 64
 	}
 	return c
 }
@@ -326,6 +334,37 @@ type ScoreRequest struct {
 	// Rows is the sample batch: one inner array per sample, one cell per
 	// schema feature, null for missing.
 	Rows [][]cell `json:"rows"`
+	// Explain, when > 0, requests per-row attributions: the top-Explain
+	// original features by signed NS contribution (clamped to the model's
+	// feature count and the server's MaxExplain bound). 0 or absent is
+	// plain scoring with zero attribution overhead.
+	Explain int `json:"explain,omitempty"`
+}
+
+// AttributionInfo is one feature's role in one row's score, as served on
+// the wire. Entries within a row are sorted by contribution descending
+// (feature index ascending on exact ties) — the same ordering the cohort
+// influence ranking uses.
+type AttributionInfo struct {
+	// Feature is the schema name of the attributed feature.
+	Feature string `json:"feature"`
+	// Orig is the feature's index in the model schema.
+	Orig int `json:"orig"`
+	// Contribution is the feature's signed summed NS contribution to the
+	// row's score. Always finite on a 200 (a non-finite contribution makes
+	// the total non-finite, which 422s the request).
+	Contribution float64 `json:"contribution"`
+	// Observed is the row's value for the feature; null when it was
+	// missing (in which case the contribution is exactly 0).
+	Observed *float64 `json:"observed"`
+	// Predicted is what the feature's model expected given the rest of the
+	// row (class label as a number for categorical features); null in the
+	// degenerate case of a non-finite regression output on a row whose
+	// target was missing.
+	Predicted *float64 `json:"predicted"`
+	// Terms is the number of NS summands aggregated into this entry
+	// (omitted when 1, the full-wiring case).
+	Terms int `json:"terms,omitempty"`
 }
 
 // ScoreResponse is the /v1/score response body.
@@ -337,21 +376,25 @@ type ScoreResponse struct {
 	// Scores is the total normalized surprisal per row, bit-identical to the
 	// offline batch pipeline.
 	Scores []float64 `json:"scores"`
+	// Explanations, present exactly when the request set explain > 0,
+	// carries one attribution list per row (same order as Scores), computed
+	// by the same runtime the hash identifies.
+	Explanations [][]AttributionInfo `json:"explanations,omitempty"`
 }
 
 // decodeScoreRequest parses and bounds-checks a score request body. All
 // failures are 4xx.
-func (s *Server) decodeScoreRequest(r *http.Request) (*Handle, *linalg.Matrix, error) {
+func (s *Server) decodeScoreRequest(r *http.Request) (*Handle, *linalg.Matrix, int, error) {
 	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	var req ScoreRequest
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, nil, errf(http.StatusRequestEntityTooLarge,
+			return nil, nil, 0, errf(http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooBig.Limit)
 		}
-		return nil, nil, errf(http.StatusBadRequest, "bad request body: %s", err)
+		return nil, nil, 0, errf(http.StatusBadRequest, "bad request body: %s", err)
 	}
 
 	h := s.handles[req.Model]
@@ -359,25 +402,33 @@ func (s *Server) decodeScoreRequest(r *http.Request) (*Handle, *linalg.Matrix, e
 	case req.Model == "" && len(s.names) == 1:
 		h = s.handles[s.names[0]]
 	case req.Model == "":
-		return nil, nil, errf(http.StatusBadRequest,
+		return nil, nil, 0, errf(http.StatusBadRequest,
 			"%d models served; request must name one of %v", len(s.names), s.names)
 	case h == nil:
-		return nil, nil, errf(http.StatusNotFound, "unknown model %q (serving %v)", req.Model, s.names)
+		return nil, nil, 0, errf(http.StatusNotFound, "unknown model %q (serving %v)", req.Model, s.names)
+	}
+
+	if req.Explain < 0 {
+		return nil, nil, 0, errf(http.StatusBadRequest, "explain must be >= 0, got %d", req.Explain)
+	}
+	if req.Explain > s.cfg.MaxExplain {
+		return nil, nil, 0, errf(http.StatusBadRequest,
+			"explain depth %d exceeds limit %d", req.Explain, s.cfg.MaxExplain)
 	}
 
 	n := len(req.Rows)
 	if n == 0 {
-		return nil, nil, errf(http.StatusBadRequest, "no rows")
+		return nil, nil, 0, errf(http.StatusBadRequest, "no rows")
 	}
 	if n > s.cfg.MaxRows {
-		return nil, nil, errf(http.StatusRequestEntityTooLarge,
+		return nil, nil, 0, errf(http.StatusRequestEntityTooLarge,
 			"%d rows exceeds per-request limit %d", n, s.cfg.MaxRows)
 	}
 	cols := len(h.Runtime().Schema())
 	rows := linalg.NewMatrix(n, cols)
 	for i, row := range req.Rows {
 		if len(row) != cols {
-			return nil, nil, errf(http.StatusBadRequest,
+			return nil, nil, 0, errf(http.StatusBadRequest,
 				"row %d has %d values, model %q expects %d", i, len(row), h.name, cols)
 		}
 		dst := rows.Row(i)
@@ -385,21 +436,38 @@ func (s *Server) decodeScoreRequest(r *http.Request) (*Handle, *linalg.Matrix, e
 			dst[j] = float64(v)
 		}
 	}
-	return h, rows, nil
+	explain := req.Explain
+	if explain > cols {
+		explain = cols
+	}
+	return h, rows, explain, nil
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	explained := false
+	defer func() {
+		s.cfg.Metrics.observeScoreSplit(explained, time.Since(start).Nanoseconds())
+	}()
 	if r.Method != http.MethodPost {
 		writeErr(w, errf(http.StatusMethodNotAllowed, "POST only"))
 		return
 	}
-	h, rows, err := s.decodeScoreRequest(r)
+	h, rows, explain, err := s.decodeScoreRequest(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	explained = explain > 0
 	out := make([]float64, rows.Rows)
-	rt, err := h.batcher.Submit(r.Context(), rows, out)
+	var attr [][]core.Attribution
+	var rt *Runtime
+	if explain > 0 {
+		attr = make([][]core.Attribution, rows.Rows)
+		rt, err = h.batcher.SubmitExplained(r.Context(), rows, out, attr, explain)
+	} else {
+		rt, err = h.batcher.Submit(r.Context(), rows, out)
+	}
 	if err != nil {
 		// Everything the batcher reports means "not scored, retry later":
 		// shutdown, queue overload, cancellation, or a reload changing the
@@ -417,7 +485,94 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, ScoreResponse{Model: h.name, ModelHash: rt.Hash(), Scores: out})
+	resp := ScoreResponse{Model: h.name, ModelHash: rt.Hash(), Scores: out}
+	if explain > 0 {
+		resp.Explanations = explanationsDoc(rt, attr)
+		h.batcher.cfg.Metrics.observeExplain(explain, rows.Rows)
+		s.cfg.Recorder.Annotate("explain", explainAnnotation(h.name, rt, attr, explain))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explanationsDoc renders captured attributions for the wire: feature
+// names resolved against the runtime that scored the batch, missing
+// observations and non-finite predictions as JSON null.
+func explanationsDoc(rt *Runtime, attr [][]core.Attribution) [][]AttributionInfo {
+	schema := rt.Schema()
+	doc := make([][]AttributionInfo, len(attr))
+	for i, rowAttr := range attr {
+		infos := make([]AttributionInfo, len(rowAttr))
+		for j, a := range rowAttr {
+			info := AttributionInfo{
+				Feature:      schema[a.Target].Name,
+				Orig:         a.Orig,
+				Contribution: a.Contribution,
+			}
+			if !a.MissingObserved() {
+				v := a.Observed
+				info.Observed = &v
+			}
+			if !math.IsNaN(a.Predicted) && !math.IsInf(a.Predicted, 0) {
+				v := a.Predicted
+				info.Predicted = &v
+			}
+			if a.Terms > 1 {
+				info.Terms = a.Terms
+			}
+			infos[j] = info
+		}
+		doc[i] = infos
+	}
+	return doc
+}
+
+// explainAnnotation summarizes one explain request for the journal: the
+// request-level top culprit features by summed contribution across its
+// rows, in the same key=value format the drift annotations use, so
+// fracmetrics can fold journals into a cohort attribution summary.
+func explainAnnotation(name string, rt *Runtime, attr [][]core.Attribution, k int) string {
+	type agg struct {
+		target int
+		sum    float64
+	}
+	byOrig := map[int]*agg{}
+	for _, rowAttr := range attr {
+		for _, a := range rowAttr {
+			g := byOrig[a.Orig]
+			if g == nil {
+				g = &agg{target: a.Target}
+				byOrig[a.Orig] = g
+			}
+			g.sum += a.Contribution
+		}
+	}
+	type kv struct {
+		orig int
+		agg  *agg
+	}
+	tops := make([]kv, 0, len(byOrig))
+	for o, g := range byOrig {
+		tops = append(tops, kv{o, g})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].agg.sum != tops[j].agg.sum {
+			return tops[i].agg.sum > tops[j].agg.sum
+		}
+		return tops[i].orig < tops[j].orig
+	})
+	const maxTop = 4
+	if len(tops) > maxTop {
+		tops = tops[:maxTop]
+	}
+	schema := rt.Schema()
+	top := ""
+	for i, t := range tops {
+		if i > 0 {
+			top += ","
+		}
+		top += fmt.Sprintf("%s:%+.3f", schema[t.agg.target].Name, t.agg.sum)
+	}
+	return fmt.Sprintf("model=%s rows=%d k=%d top=[%s]", name, len(attr), k, top)
 }
 
 // ReloadResult is one model's outcome in a /v1/reload response.
